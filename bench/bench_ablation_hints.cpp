@@ -1,0 +1,46 @@
+// Ablation A4: cb_buffer_size sweep around the netCDF record size — the
+// hint the paper tunes ("setting the read buffer size to the netCDF record
+// size ... improved the netCDF I/O performance in some cases by a factor of
+// two"). Sweeps buffer sizes from 1 MB to 64 MB reading 1120^3 pressure
+// with 2K cores.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvrbench;
+  using pvr::format::FileFormat;
+
+  const std::int64_t ranks = 2048;
+  ExperimentConfig base =
+      paper_config(ranks, 1120, 1600, FileFormat::kNetcdfRecord);
+  const std::int64_t record = base.dataset.slice_bytes();  // 1120^2 * 4
+
+  pvr::TextTable table(
+      "Ablation A4 — cb_buffer_size sweep, untuned->tuned netCDF "
+      "(1120^3, 2K cores)");
+  table.set_header({"cb_buffer", "io_s", "physical", "density",
+                    "accesses"});
+
+  std::vector<std::int64_t> buffers = {1 * pvr::MiB,  2 * pvr::MiB,
+                                       record,        8 * pvr::MiB,
+                                       16 * pvr::MiB, 64 * pvr::MiB};
+  for (const std::int64_t cb : buffers) {
+    ExperimentConfig cfg = base;
+    cfg.hints.cb_buffer_bytes = cb;
+    ParallelVolumeRenderer renderer(cfg);
+    const auto io = renderer.model_io();
+    const std::string label =
+        cb == record ? "record(5MB)" : pvr::fmt_bytes(double(cb));
+    table.add_row({label, pvr::fmt_f(io.seconds, 1),
+                   pvr::fmt_bytes(double(io.physical_bytes)),
+                   pvr::fmt_f(io.data_density(), 2),
+                   pvr::fmt_int(io.accesses)});
+    register_sim("ablation_hints/cb_" + pvr::fmt_int(cb), io.seconds,
+                 {{"density", io.data_density()}});
+  }
+  table.print();
+  std::puts(
+      "\nBuffers larger than the 5 MB record drag in neighboring variables'\n"
+      "records (low density); matching the record size reads little beyond\n"
+      "the wanted slices — the paper's factor-of-two tuning.\n");
+  return run_benchmarks(argc, argv);
+}

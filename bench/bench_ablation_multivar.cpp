@@ -1,0 +1,52 @@
+// Ablation A10: multivariate I/O amortization. The paper argues for reading
+// netCDF directly because it "affords the possibility to perform
+// multivariate visualizations in the future"; this bench quantifies the
+// payoff — in the record-interleaved layout, reading more variables barely
+// increases physical I/O, so the per-variable cost collapses.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvrbench;
+  using pvr::format::FileFormat;
+
+  const std::int64_t ranks = 2048;
+  const std::vector<std::string> all = {"pressure", "density", "vx", "vy",
+                                        "vz"};
+
+  for (const bool tuned : {false, true}) {
+    ExperimentConfig cfg =
+        paper_config(ranks, 1120, 1600, FileFormat::kNetcdfRecord);
+    if (tuned) {
+      cfg.hints =
+          pvr::iolib::Hints::tuned_for_record(cfg.dataset.slice_bytes());
+    }
+    ParallelVolumeRenderer renderer(cfg);
+
+    pvr::TextTable table(std::string("Ablation A10 — variables per read, ") +
+                         (tuned ? "tuned" : "untuned") +
+                         " PnetCDF (1120^3, 2K cores)");
+    table.set_header({"variables", "io_s", "s_per_variable", "physical",
+                      "density"});
+    for (std::size_t nv = 1; nv <= all.size(); ++nv) {
+      const std::vector<std::string> vars(all.begin(),
+                                          all.begin() + std::int64_t(nv));
+      const auto io = renderer.model_io_vars(vars);
+      table.add_row({pvr::fmt_int(std::int64_t(nv)),
+                     pvr::fmt_f(io.seconds, 1),
+                     pvr::fmt_f(io.seconds / double(nv), 1),
+                     pvr::fmt_bytes(double(io.physical_bytes)),
+                     pvr::fmt_f(io.data_density(), 2)});
+      register_sim(std::string("ablation_multivar/") +
+                       (tuned ? "tuned" : "untuned") + "/vars" +
+                       pvr::fmt_int(std::int64_t(nv)),
+                   io.seconds, {{"density", io.data_density()}});
+    }
+    table.print();
+    std::puts("");
+  }
+  std::puts(
+      "Reading all five variables costs little more than reading one: the\n"
+      "record layout's amplification is amortized, which is exactly why\n"
+      "direct multivariate reads beat per-variable preprocessing.\n");
+  return run_benchmarks(argc, argv);
+}

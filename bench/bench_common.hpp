@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table benchmark harness.
+//
+// Every bench binary computes its experiment rows once (model mode at paper
+// scale), prints the paper-style table, and registers one google-benchmark
+// entry per row whose manual time is the modeled seconds — so standard
+// benchmark tooling (filters, JSON output) works over the reproduction.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pvr.hpp"
+
+namespace pvrbench {
+
+using pvr::core::ExperimentConfig;
+using pvr::core::FrameStats;
+using pvr::core::ParallelVolumeRenderer;
+
+/// The paper's core-count sweep: 64, 128, ..., 32768.
+inline std::vector<std::int64_t> proc_sweep(std::int64_t lo = 64,
+                                            std::int64_t hi = 32768) {
+  std::vector<std::int64_t> procs;
+  for (std::int64_t p = lo; p <= hi; p *= 2) procs.push_back(p);
+  return procs;
+}
+
+/// Baseline experiment configuration for a paper run.
+inline ExperimentConfig paper_config(
+    std::int64_t ranks, std::int64_t grid, int image,
+    pvr::format::FileFormat fmt = pvr::format::FileFormat::kRaw) {
+  ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = pvr::format::supernova_desc(fmt, grid);
+  cfg.variable = cfg.dataset.variables.front();
+  cfg.image_width = cfg.image_height = image;
+  cfg.composite.policy = pvr::compose::CompositorPolicy::kImproved;
+  return cfg;
+}
+
+/// Registers a benchmark whose reported time is precomputed modeled seconds.
+inline void register_sim(
+    const std::string& name, double seconds,
+    std::vector<std::pair<std::string, double>> counters = {}) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [seconds, counters = std::move(counters)](benchmark::State& state) {
+        for (auto _ : state) {
+          state.SetIterationTime(seconds);
+        }
+        for (const auto& [key, value] : counters) {
+          state.counters[key] = value;
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+}
+
+/// Initializes and runs google-benchmark (after tables were printed).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pvrbench

@@ -1,0 +1,87 @@
+// Figure 9: the physical access pattern of reading one variable (pressure)
+// of the 1120^3 netCDF file with 2K cores, for (a) untuned PnetCDF,
+// (b) tuned PnetCDF (record-size buffers), (c) SHDF (the HDF5 stand-in) —
+// plus the CDF-5 64-bit layout the paper says matches HDF5. Emits the same
+// touched-blocks maps the paper renders, as PGM images, and prints access
+// statistics.
+//
+// Paper reference: untuned reads most of the ~27 GB file (~thousands of
+// ~15 MB accesses); tuned reads ~11 GB in ~2600 accesses of ~4.5 MB to get
+// 5 GB of useful data; HDF5 reads ~8 GB, contiguously, after 11 tiny
+// metadata accesses per process.
+#include <filesystem>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvrbench;
+  using pvr::format::FileFormat;
+
+  const std::int64_t ranks = 2048;
+  std::filesystem::create_directories("bench_out");
+
+  pvr::TextTable table(
+      "Figure 9 — Access pattern reading 'pressure', 1120^3, 2K cores");
+  table.set_header({"mode", "data_accesses", "mean_access", "meta_accesses",
+                    "physical", "useful", "density", "map"});
+
+  struct Mode {
+    const char* name;
+    FileFormat fmt;
+    bool tuned;
+  };
+  const Mode modes[] = {
+      {"untuned_pnetcdf", FileFormat::kNetcdfRecord, false},
+      {"tuned_pnetcdf", FileFormat::kNetcdfRecord, true},
+      {"shdf(hdf5)", FileFormat::kShdf, false},
+      {"netcdf_64bit", FileFormat::kNetcdf64, false},
+  };
+
+  for (const Mode& mode : modes) {
+    ExperimentConfig cfg = paper_config(ranks, 1120, 1600, mode.fmt);
+    if (mode.tuned) {
+      cfg.hints =
+          pvr::iolib::Hints::tuned_for_record(cfg.dataset.slice_bytes());
+    }
+    ParallelVolumeRenderer renderer(cfg);
+    pvr::storage::AccessLog log;
+    const auto io = renderer.model_io(&log);
+    const auto stats = log.stats();
+
+    // Separate the open-time metadata reads (tiny, header-sized: the paper's
+    // "11 very small metadata accesses" per process) from the data accesses.
+    std::int64_t meta = 0, data_accesses = 0, data_bytes = 0;
+    for (const auto& a : log.accesses()) {
+      if (a.bytes <= 4096) {
+        ++meta;
+      } else {
+        ++data_accesses;
+        data_bytes += a.bytes;
+      }
+    }
+
+    const std::string map =
+        std::string("bench_out/fig9_") + mode.name + ".pgm";
+    log.write_coverage_pgm(renderer.layout().file_bytes(), 128, 128, map);
+
+    table.add_row({mode.name, pvr::fmt_int(data_accesses),
+                   pvr::fmt_bytes(data_accesses > 0
+                                      ? double(data_bytes) / double(data_accesses)
+                                      : 0.0),
+                   pvr::fmt_int(meta),
+                   pvr::fmt_bytes(double(stats.physical_bytes)),
+                   pvr::fmt_bytes(double(stats.useful_bytes)),
+                   pvr::fmt_f(stats.data_density(), 2), map});
+    register_sim(std::string("fig9/") + mode.name, io.seconds,
+                 {{"accesses", double(stats.accesses)},
+                  {"physical_GB", double(stats.physical_bytes) / 1e9},
+                  {"density", stats.data_density()}});
+  }
+  table.print();
+  std::puts(
+      "\nPaper: untuned touches most of the 27 GB file; tuned reads ~11 GB\n"
+      "in ~2600 accesses of ~4.5 MB; HDF5 and 64-bit netCDF read the\n"
+      "variable near-contiguously (~8 GB) after tiny metadata accesses.\n"
+      "PGM maps (dark = file blocks read) are written to bench_out/.\n");
+  return run_benchmarks(argc, argv);
+}

@@ -1,0 +1,33 @@
+// Table I: published parallel volume rendering system scales. This is the
+// paper's literature survey (not an experiment); we reprint it for context
+// and append this reproduction's own largest configuration, computed from
+// the actual descriptors.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvrbench;
+
+  pvr::TextTable table(
+      "Table I — Published parallel volume rendering system scales");
+  table.set_header({"dataset", "system_size_cpus", "billion_elements",
+                    "image_size", "year", "reference"});
+  table.add_row({"Fire", "64", "14", "800^2", "2007", "[3]"});
+  table.add_row({"Blast Wave", "128", "27", "1024^2", "2006", "[4]"});
+  table.add_row({"Taylor-Raleigh", "128", "1", "1024^2", "2001", "[5]"});
+  table.add_row({"Molecular Dynamics", "256", ".14", "1024^2", "2006",
+                 "[4]"});
+  table.add_row({"Earthquake", "2048", "1.2", "1024^2", "2007", "[1]"});
+  table.add_row({"Supernova", "4096", ".65", "1600^2", "2008", "[2]"});
+
+  // The paper's own largest configuration, derived from our descriptors.
+  const auto desc =
+      pvr::format::supernova_desc(pvr::format::FileFormat::kRaw, 4480);
+  const double billions = double(desc.elements_per_variable()) / 1e9;
+  table.add_row({"Supernova (this paper)", "32768", pvr::fmt_f(billions, 0),
+                 "4096^2", "2009", "(reproduced here)"});
+  table.print();
+  std::puts("");
+
+  register_sim("table1/largest_config_elements", billions, {});
+  return run_benchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+// In-situ visualization loop — the scenario the paper's conclusion argues
+// for. A toy "simulation" advances the supernova field over several time
+// steps; each step is rendered two ways:
+//
+//   post-hoc: write the time step to storage, then read it back through the
+//             collective I/O stack and render (today's workflow),
+//   in-situ:  render straight from the simulation's resident data.
+//
+// Both produce identical images (verified); the modeled times show the I/O
+// stage dominating exactly as the paper measures.
+//
+// Usage: insitu_loop [steps=4] [grid=40] [ranks=27]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pvr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvr;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::int64_t grid = argc > 2 ? std::atoll(argv[2]) : 40;
+  const std::int64_t ranks = argc > 3 ? std::atoll(argv[3]) : 27;
+
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kNetcdfRecord,
+                                       grid);
+  cfg.variable = "density";
+  cfg.image_width = cfg.image_height = 160;
+  cfg.hints = iolib::Hints::tuned_for_record(cfg.dataset.slice_bytes());
+
+  TextTable table("post-hoc vs in-situ over " + fmt_int(steps) +
+                  " time steps (modeled seconds)");
+  table.set_header({"step", "posthoc_io", "posthoc_total", "insitu_total",
+                    "image_diff"});
+
+  double posthoc_sum = 0.0, insitu_sum = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    // Advance the "simulation": each step is a new seeded field state.
+    const data::SupernovaField field(1530 + std::uint64_t(step));
+
+    // Post-hoc: persist, then read + render through the full pipeline.
+    const std::string path = "insitu_step.nc";
+    data::write_supernova_file(cfg.dataset, path, 1530 + std::uint64_t(step));
+    core::ParallelVolumeRenderer posthoc(cfg);
+    Image disk_image;
+    const core::FrameStats pf = posthoc.execute_frame(path, &disk_image);
+
+    // In-situ: render straight from resident data.
+    core::ParallelVolumeRenderer insitu(cfg);
+    Image live_image;
+    const core::FrameStats sf = insitu.execute_insitu_frame(field,
+                                                            &live_image);
+
+    const float diff = disk_image.max_difference(live_image);
+    posthoc_sum += pf.total_seconds();
+    insitu_sum += sf.total_seconds();
+    if (step == 0) write_ppm(live_image, "insitu_step0.ppm");
+
+    table.add_row({fmt_int(step), fmt_f(pf.io_seconds, 3),
+                   fmt_f(pf.total_seconds(), 3),
+                   fmt_f(sf.total_seconds(), 3), fmt_f(double(diff), 6)});
+  }
+  table.print();
+  std::printf(
+      "\ncampaign total: post-hoc %.2f s vs in-situ %.2f s (%.1fx); the\n"
+      "difference is the paper's dominant I/O stage. image_diff == 0 shows\n"
+      "both paths render identical frames.\n",
+      posthoc_sum, insitu_sum, posthoc_sum / insitu_sum);
+  return 0;
+}

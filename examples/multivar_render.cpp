@@ -1,0 +1,50 @@
+// Multivariate rendering — the future work the paper's I/O study enables:
+// one collective read pulls two variables out of the five-variable netCDF
+// time step; color comes from one, opacity from the other.
+//
+// Usage: multivar_render [color_var=pressure] [opacity_var=density]
+//        [grid=48] [ranks=27]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pvr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvr;
+  const std::string color_var = argc > 1 ? argv[1] : "pressure";
+  const std::string opacity_var = argc > 2 ? argv[2] : "density";
+  const std::int64_t grid = argc > 3 ? std::atoll(argv[3]) : 48;
+  const std::int64_t ranks = argc > 4 ? std::atoll(argv[4]) : 27;
+
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kNetcdfRecord,
+                                       grid);
+  cfg.variable = color_var;
+  cfg.image_width = cfg.image_height = 256;
+  cfg.hints = iolib::Hints::tuned_for_record(cfg.dataset.slice_bytes());
+
+  const std::string path = "multivar_supernova.nc";
+  std::printf("writing 5-variable netCDF time step (%lld^3) ...\n",
+              static_cast<long long>(grid));
+  data::write_supernova_file(cfg.dataset, path, 1530);
+
+  const auto tf = render::BivariateTransferFunction::supernova_bivariate();
+  core::ParallelVolumeRenderer renderer(cfg);
+  Image out;
+  const core::FrameStats stats =
+      renderer.execute_frame_bivariate(path, opacity_var, tf, &out);
+  write_ppm(out, "multivar.ppm");
+
+  std::printf(
+      "rendered color='%s', opacity='%s' -> multivar.ppm\n"
+      "one collective read, both variables: %.1f MB useful, %.1f MB "
+      "physical (density %.2f)\n"
+      "modeled stage times: io %.3f s, render %.3f s, composite %.3f s\n",
+      color_var.c_str(), opacity_var.c_str(),
+      double(stats.io.useful_bytes) / 1e6,
+      double(stats.io.physical_bytes) / 1e6, stats.io.data_density(),
+      stats.io_seconds, stats.render_seconds, stats.composite_seconds);
+  return 0;
+}

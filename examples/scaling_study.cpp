@@ -1,0 +1,65 @@
+// Run your own end-to-end scaling study (the paper's experiment) at any
+// problem size, in model mode: for each core count, the modeled frame time
+// and its I/O / render / composite split, with both compositor policies.
+//
+// Usage: scaling_study [grid=1120] [image=1600] [max_procs=32768]
+//        [format=raw|netcdf|netcdf64|shdf]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pvr.hpp"
+
+namespace {
+
+pvr::format::FileFormat parse_format(const char* s) {
+  using pvr::format::FileFormat;
+  if (std::strcmp(s, "raw") == 0) return FileFormat::kRaw;
+  if (std::strcmp(s, "netcdf") == 0) return FileFormat::kNetcdfRecord;
+  if (std::strcmp(s, "netcdf64") == 0) return FileFormat::kNetcdf64;
+  if (std::strcmp(s, "shdf") == 0) return FileFormat::kShdf;
+  throw pvr::Error(std::string("unknown format: ") + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pvr;
+  const std::int64_t grid = argc > 1 ? std::atoll(argv[1]) : 1120;
+  const int image = argc > 2 ? std::atoi(argv[2]) : 1600;
+  const std::int64_t max_procs = argc > 3 ? std::atoll(argv[3]) : 32768;
+  const format::FileFormat fmt =
+      argc > 4 ? parse_format(argv[4]) : format::FileFormat::kRaw;
+
+  TextTable table("scaling study — " + std::string(format_name(fmt)) + ", " +
+                  fmt_cubed(grid) + " data, " + fmt_squared(image) +
+                  " image (modeled BG/P seconds)");
+  table.set_header({"procs", "io", "render", "comp(orig)", "comp(impr)",
+                    "total(impr)", "%io", "read_MB/s"});
+
+  for (std::int64_t p = 64; p <= max_procs; p *= 2) {
+    core::ExperimentConfig cfg;
+    cfg.num_ranks = p;
+    cfg.dataset = format::supernova_desc(fmt, grid);
+    cfg.variable = cfg.dataset.variables.front();
+    cfg.image_width = cfg.image_height = image;
+
+    core::ParallelVolumeRenderer renderer(cfg);
+    const auto io = renderer.model_io();
+    const auto render = renderer.model_render();
+    const auto orig =
+        renderer.model_composite(compose::CompositorPolicy::kOriginal);
+    const auto impr =
+        renderer.model_composite(compose::CompositorPolicy::kImproved);
+    const double total = io.seconds + render.seconds + impr.seconds;
+    table.add_row({fmt_procs(p), fmt_f(io.seconds, 2),
+                   fmt_f(render.seconds, 2), fmt_f(orig.seconds, 3),
+                   fmt_f(impr.seconds, 3), fmt_f(total, 2),
+                   fmt_f(100.0 * io.seconds / total, 1),
+                   fmt_f(io.bandwidth_useful() / 1e6, 0)});
+  }
+  table.print();
+  std::puts(
+      "\ncompare against Figures 3, 5, 6, and 7 of Peterka et al. (ICPP'09)");
+  return 0;
+}

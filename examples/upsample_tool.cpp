@@ -1,0 +1,69 @@
+// The paper's preprocessing step as a tool: generate a supernova time step
+// (or take an existing file) and upsample it by an integer factor, streaming
+// slice pairs so memory stays O(slice) — how the paper built its 2240^3 and
+// 4480^3 time steps from 1120^3 data.
+//
+// Usage: upsample_tool [grid=32] [factor=2] [format=netcdf]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pvr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvr;
+  const std::int64_t grid = argc > 1 ? std::atoll(argv[1]) : 32;
+  const int factor = argc > 2 ? std::atoi(argv[2]) : 2;
+  const bool use_netcdf =
+      argc <= 3 || std::strcmp(argv[3], "netcdf") == 0;
+  const format::FileFormat fmt = use_netcdf
+                                     ? format::FileFormat::kNetcdfRecord
+                                     : format::FileFormat::kRaw;
+
+  const format::DatasetDesc src_desc = format::supernova_desc(fmt, grid);
+  format::DatasetDesc dst_desc = src_desc;
+  dst_desc.dims = src_desc.dims * std::int64_t(factor);
+
+  const std::string src_path = "upsample_src.dat";
+  const std::string dst_path = "upsample_dst.dat";
+
+  std::printf("generating %lld^3 source (%s) ...\n",
+              static_cast<long long>(grid), format_name(fmt));
+  data::write_supernova_file(src_desc, src_path, 1530);
+
+  const format::VolumeLayout src_layout(src_desc), dst_layout(dst_desc);
+  std::printf("upsampling x%d -> %lld^3 (%.1f MB -> %.1f MB) ...\n", factor,
+              static_cast<long long>(dst_desc.dims.x),
+              double(src_layout.file_bytes()) / 1e6,
+              double(dst_layout.file_bytes()) / 1e6);
+  {
+    format::DiskFile src(src_path, format::DiskFile::OpenMode::kRead);
+    format::DiskFile dst(dst_path, format::DiskFile::OpenMode::kTruncate);
+    data::upsample_dataset(src_layout, src, factor, dst_layout, &dst);
+  }
+
+  // Sanity: upsampled volume preserves structure — render both and compare
+  // images at the same camera.
+  const auto render_one = [](const format::DatasetDesc& desc,
+                             const std::string& path) {
+    core::ExperimentConfig cfg;
+    cfg.num_ranks = 8;
+    cfg.dataset = desc;
+    cfg.variable = desc.variables.front();
+    cfg.image_width = cfg.image_height = 128;
+    core::ParallelVolumeRenderer renderer(cfg);
+    Image out;
+    renderer.execute_frame(path, &out);
+    return out;
+  };
+  const Image a = render_one(src_desc, src_path);
+  const Image b = render_one(dst_desc, dst_path);
+  write_ppm(a, "upsample_src.ppm");
+  write_ppm(b, "upsample_dst.ppm");
+  std::printf(
+      "max image difference source vs upsampled: %.4f "
+      "(small = structure preserved)\n",
+      double(a.max_difference(b)));
+  std::puts("images: upsample_src.ppm, upsample_dst.ppm");
+  return 0;
+}

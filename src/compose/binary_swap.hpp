@@ -1,0 +1,37 @@
+// Binary-swap compositor (Ma et al. 1994), the classic tree-structured
+// alternative the paper contrasts with direct-send. Ranks are sorted into
+// visibility order; in round i, ranks whose sorted positions differ in bit i
+// pair up, split their current image region in half, keep one half and ship
+// the other. After log2(n) rounds every rank owns a fully composited 1/n of
+// the image. Requires a power-of-two rank count with one block per rank.
+#pragma once
+
+#include <span>
+
+#include "compose/direct_send.hpp"
+
+namespace pvr::compose {
+
+class BinarySwapCompositor {
+ public:
+  BinarySwapCompositor(runtime::Runtime& rt, const CompositeConfig& config);
+
+  /// Model mode: prices the log2(n) exchange rounds.
+  CompositeStats model(std::span<const BlockScreenInfo> blocks, int width,
+                       int height);
+
+  /// Execute mode: blocks[i] must be rank i's block (blocks.size() == n).
+  CompositeStats execute(std::span<const BlockScreenInfo> blocks,
+                         std::span<const render::SubImage> subimages,
+                         int width, int height, Image* out);
+
+ private:
+  CompositeStats run(std::span<const BlockScreenInfo> blocks,
+                     std::span<const render::SubImage> subimages, int width,
+                     int height, Image* out);
+
+  runtime::Runtime* rt_;
+  CompositeConfig config_;
+};
+
+}  // namespace pvr::compose

@@ -1,0 +1,174 @@
+#include "compose/direct_send.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace pvr::compose {
+
+namespace {
+
+struct FragmentHeader {
+  std::int32_t x0, y0, x1, y1;
+  double depth;
+};
+
+runtime::Payload pack_fragment(const render::SubImage& sub, const Rect& r,
+                               double depth) {
+  FragmentHeader hdr{r.x0, r.y0, r.x1, r.y1, depth};
+  runtime::Payload payload(sizeof(FragmentHeader) +
+                           std::size_t(r.pixel_count()) * sizeof(Rgba));
+  std::memcpy(payload.data(), &hdr, sizeof(hdr));
+  auto* pixels = reinterpret_cast<Rgba*>(payload.data() + sizeof(hdr));
+  std::size_t i = 0;
+  for (int y = r.y0; y < r.y1; ++y) {
+    const std::size_t row =
+        std::size_t(y - sub.rect.y0) * std::size_t(sub.rect.width()) +
+        std::size_t(r.x0 - sub.rect.x0);
+    for (int x = 0; x < r.width(); ++x) {
+      pixels[i++] = sub.pixels[row + std::size_t(x)];
+    }
+  }
+  return payload;
+}
+
+struct Fragment {
+  Rect rect;
+  double depth;
+  std::int64_t src;
+  const Rgba* pixels;
+};
+
+}  // namespace
+
+DirectSendCompositor::DirectSendCompositor(runtime::Runtime& rt,
+                                           const CompositeConfig& config)
+    : rt_(&rt), config_(config) {
+  PVR_REQUIRE(config.wire_bytes_per_pixel > 0,
+              "wire bytes per pixel must be positive");
+}
+
+std::int64_t DirectSendCompositor::compositor_count() const {
+  return ::pvr::compose::compositor_count(config_.policy, rt_->num_ranks(),
+                                          config_.fixed_compositors);
+}
+
+CompositeStats DirectSendCompositor::model(
+    std::span<const BlockScreenInfo> blocks, int width, int height) {
+  return run(blocks, {}, width, height, nullptr);
+}
+
+CompositeStats DirectSendCompositor::execute(
+    std::span<const BlockScreenInfo> blocks,
+    std::span<const render::SubImage> subimages, int width, int height,
+    Image* out) {
+  PVR_REQUIRE(rt_->mode() == runtime::Mode::kExecute,
+              "execute() requires an execute-mode runtime");
+  PVR_REQUIRE(subimages.size() == blocks.size(),
+              "need one subimage per block");
+  return run(blocks, subimages, width, height, out);
+}
+
+CompositeStats DirectSendCompositor::run(
+    std::span<const BlockScreenInfo> blocks,
+    std::span<const render::SubImage> subimages, int width, int height,
+    Image* out) {
+  const bool execute = !subimages.empty();
+  const std::int64_t m = compositor_count();
+  const ImagePartition partition(width, height, m);
+  const std::vector<ScheduledMessage> schedule =
+      build_direct_send_schedule(blocks, partition);
+
+  CompositeStats stats;
+  stats.num_compositors = partition.num_tiles();
+
+  // Per-compositor blended pixels (for the blend-compute term).
+  std::vector<std::int64_t> blend_pixels(std::size_t(partition.num_tiles()),
+                                         0);
+
+  std::vector<runtime::Message> messages;
+  messages.reserve(schedule.size());
+  for (const ScheduledMessage& s : schedule) {
+    runtime::Message msg;
+    msg.src_rank = s.src_rank;
+    msg.dst_rank = s.dst_rank;  // tile i is owned by compositor rank i
+    msg.tag = s.block_index;
+    msg.bytes = s.pixels() * config_.wire_bytes_per_pixel;
+    if (execute) {
+      const render::SubImage& sub = subimages[std::size_t(s.block_index)];
+      PVR_ASSERT(sub.rect.intersect(s.rect) == s.rect);
+      msg.payload = pack_fragment(sub, s.rect, s.depth);
+    }
+    blend_pixels[std::size_t(s.dst_rank)] += s.pixels();
+    messages.push_back(std::move(msg));
+  }
+  stats.messages = std::int64_t(messages.size());
+  for (const auto& msg : messages) stats.bytes += msg.bytes;
+
+  runtime::Runtime::ConsumeFn consume = nullptr;
+  std::map<std::int64_t, std::vector<Rgba>> tiles;  // compositor -> pixels
+  if (execute) {
+    consume = [&](std::int64_t rank, std::span<const runtime::Message> inbox) {
+      const Rect tile = partition.tile(rank);
+      // Collect fragments and sort into visibility order (near first).
+      std::vector<Fragment> fragments;
+      fragments.reserve(inbox.size());
+      for (const runtime::Message& msg : inbox) {
+        PVR_ASSERT(msg.payload.size() >= sizeof(FragmentHeader));
+        FragmentHeader hdr;
+        std::memcpy(&hdr, msg.payload.data(), sizeof(hdr));
+        fragments.push_back(Fragment{
+            Rect{hdr.x0, hdr.y0, hdr.x1, hdr.y1}, hdr.depth, msg.src_rank,
+            reinterpret_cast<const Rgba*>(msg.payload.data() +
+                                          sizeof(FragmentHeader))});
+      }
+      std::sort(fragments.begin(), fragments.end(),
+                [](const Fragment& a, const Fragment& b) {
+                  if (a.depth != b.depth) return a.depth < b.depth;
+                  return a.src < b.src;
+                });
+      std::vector<Rgba>& acc = tiles[rank];
+      acc.assign(std::size_t(tile.pixel_count()), kTransparent);
+      for (const Fragment& f : fragments) {
+        const Rect r = f.rect.intersect(tile);
+        for (int y = r.y0; y < r.y1; ++y) {
+          for (int x = r.x0; x < r.x1; ++x) {
+            Rgba& dst = acc[std::size_t(y - tile.y0) *
+                                std::size_t(tile.width()) +
+                            std::size_t(x - tile.x0)];
+            // dst holds the accumulation of nearer fragments; f is behind.
+            const Rgba src = f.pixels[std::size_t(y - f.rect.y0) *
+                                          std::size_t(f.rect.width()) +
+                                      std::size_t(x - f.rect.x0)];
+            dst.blend_under(src);
+          }
+        }
+      }
+    };
+  }
+
+  stats.exchange = rt_->exchange_messages(std::move(messages), consume);
+
+  const std::int64_t worst_blend =
+      blend_pixels.empty()
+          ? 0
+          : *std::max_element(blend_pixels.begin(), blend_pixels.end());
+  stats.blend_seconds =
+      double(worst_blend) / rt_->partition().config().blends_per_second;
+  stats.seconds = stats.exchange.seconds + stats.blend_seconds;
+
+  if (execute && out != nullptr) {
+    *out = Image(width, height);
+    for (std::int64_t t = 0; t < partition.num_tiles(); ++t) {
+      const Rect r = partition.tile(t);
+      const auto it = tiles.find(t);
+      if (it == tiles.end()) continue;  // tile received no fragments
+      out->insert(r, it->second);
+    }
+  }
+  return stats;
+}
+
+}  // namespace pvr::compose

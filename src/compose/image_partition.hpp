@@ -1,0 +1,41 @@
+// Partition of the final image among m compositors: a near-square grid of
+// tiles, tile i owned by compositor rank i. Every pixel belongs to exactly
+// one tile.
+#pragma once
+
+#include <cstdint>
+
+#include "util/image.hpp"
+
+namespace pvr::compose {
+
+class ImagePartition {
+ public:
+  ImagePartition(int width, int height, std::int64_t num_tiles);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::int64_t num_tiles() const { return tiles_x_ * tiles_y_; }
+  std::int64_t tiles_x() const { return tiles_x_; }
+  std::int64_t tiles_y() const { return tiles_y_; }
+
+  Rect tile(std::int64_t i) const;
+
+  /// Tile containing pixel (x, y).
+  std::int64_t tile_of(int x, int y) const;
+
+  /// Range of tile indices whose rects intersect `r` is a sub-grid;
+  /// this returns the tile-grid coordinate bounds [tx0, tx1) x [ty0, ty1).
+  void tile_range(const Rect& r, std::int64_t* tx0, std::int64_t* tx1,
+                  std::int64_t* ty0, std::int64_t* ty1) const;
+
+  std::int64_t tile_index(std::int64_t tx, std::int64_t ty) const {
+    return ty * tiles_x_ + tx;
+  }
+
+ private:
+  int width_, height_;
+  std::int64_t tiles_x_, tiles_y_;
+};
+
+}  // namespace pvr::compose

@@ -1,0 +1,227 @@
+#include "compose/radix_k.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace pvr::compose {
+
+namespace {
+
+/// Splits r into k near-equal parts along its longer side.
+Rect split_part(const Rect& r, int k, int j) {
+  PVR_ASSERT(k >= 1 && j >= 0 && j < k);
+  if (r.width() >= r.height()) {
+    return Rect{r.x0 + r.width() * j / k, r.y0,
+                r.x0 + r.width() * (j + 1) / k, r.y1};
+  }
+  return Rect{r.x0, r.y0 + r.height() * j / k, r.x1,
+              r.y0 + r.height() * (j + 1) / k};
+}
+
+struct PieceHeader {
+  Rect rect;
+  std::int64_t sender_pos;
+};
+
+}  // namespace
+
+RadixKCompositor::RadixKCompositor(runtime::Runtime& rt,
+                                   const CompositeConfig& config,
+                                   std::vector<int> radices)
+    : rt_(&rt), config_(config), radices_(std::move(radices)) {
+  PVR_REQUIRE(!radices_.empty(), "need at least one round");
+  std::int64_t product = 1;
+  for (const int k : radices_) {
+    PVR_REQUIRE(k >= 1, "radix must be >= 1");
+    product *= k;
+  }
+  PVR_REQUIRE(product == rt.num_ranks(),
+              "product of radices must equal the rank count");
+}
+
+std::vector<int> RadixKCompositor::factor(std::int64_t n, int k) {
+  PVR_REQUIRE(n >= 1, "n must be >= 1");
+  PVR_REQUIRE(k >= 2, "radix must be >= 2");
+  std::vector<int> radices;
+  while (n % k == 0 && n > 1) {
+    radices.push_back(k);
+    n /= k;
+  }
+  // Remaining factor (possibly composite or prime) becomes smaller rounds.
+  for (int d = 2; d <= k && n > 1; ++d) {
+    while (n % d == 0) {
+      radices.push_back(d);
+      n /= d;
+    }
+  }
+  if (n > 1) radices.push_back(int(n));  // large prime remainder
+  if (radices.empty()) radices.push_back(1);
+  return radices;
+}
+
+CompositeStats RadixKCompositor::model(
+    std::span<const BlockScreenInfo> blocks, int width, int height) {
+  return run(blocks, {}, width, height, nullptr);
+}
+
+CompositeStats RadixKCompositor::execute(
+    std::span<const BlockScreenInfo> blocks,
+    std::span<const render::SubImage> subimages, int width, int height,
+    Image* out) {
+  PVR_REQUIRE(rt_->mode() == runtime::Mode::kExecute,
+              "execute() requires an execute-mode runtime");
+  PVR_REQUIRE(subimages.size() == blocks.size(),
+              "need one subimage per block");
+  return run(blocks, subimages, width, height, out);
+}
+
+CompositeStats RadixKCompositor::run(
+    std::span<const BlockScreenInfo> blocks,
+    std::span<const render::SubImage> subimages, int width, int height,
+    Image* out) {
+  const std::int64_t n = rt_->num_ranks();
+  PVR_REQUIRE(std::int64_t(blocks.size()) == n,
+              "radix-k requires exactly one block per rank");
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    PVR_REQUIRE(blocks[i].rank == std::int64_t(i),
+                "blocks must be listed in rank order");
+  }
+  const bool execute = !subimages.empty();
+
+  CompositeStats stats;
+  stats.num_compositors = n;
+
+  // Visibility order (near to far), as in binary swap.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    if (blocks[std::size_t(a)].depth != blocks[std::size_t(b)].depth) {
+      return blocks[std::size_t(a)].depth < blocks[std::size_t(b)].depth;
+    }
+    return a < b;
+  });
+  std::vector<std::int64_t> pos(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    pos[std::size_t(order[std::size_t(i)])] = i;
+  }
+
+  std::vector<Rect> region(static_cast<std::size_t>(n),
+                           Rect{0, 0, width, height});
+  std::vector<Image> buffers;
+  if (execute) {
+    buffers.reserve(std::size_t(n));
+    for (std::int64_t r = 0; r < n; ++r) {
+      Image img(width, height);
+      const render::SubImage& sub = subimages[std::size_t(r)];
+      if (!sub.rect.empty()) img.insert(sub.rect, sub.pixels);
+      buffers.push_back(std::move(img));
+    }
+  }
+
+  const auto& mcfg = rt_->partition().config();
+  std::int64_t stride = 1;
+  for (const int k : radices_) {
+    if (k == 1) continue;
+    std::vector<Rect> kept(static_cast<std::size_t>(n));
+    std::vector<runtime::Message> messages;
+    messages.reserve(std::size_t(n) * std::size_t(k - 1));
+    std::int64_t worst_blend = 0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      const std::int64_t p = pos[std::size_t(r)];
+      const int digit = int((p / stride) % k);
+      const Rect cur = region[std::size_t(r)];
+      kept[std::size_t(r)] = split_part(cur, k, digit);
+      worst_blend = std::max(
+          worst_blend, std::int64_t(k) * kept[std::size_t(r)].pixel_count());
+      for (int j = 0; j < k; ++j) {
+        if (j == digit) continue;
+        const std::int64_t peer_pos = p + (j - digit) * stride;
+        const std::int64_t peer = order[std::size_t(peer_pos)];
+        const Rect piece = split_part(cur, k, j);
+        runtime::Message msg;
+        msg.src_rank = r;
+        msg.dst_rank = peer;
+        msg.tag = int(stride);
+        msg.bytes = piece.pixel_count() * config_.wire_bytes_per_pixel;
+        if (execute && !piece.empty()) {
+          const std::vector<Rgba> pixels =
+              buffers[std::size_t(r)].extract(piece);
+          PieceHeader hdr{piece, p};
+          msg.payload.resize(sizeof(hdr) + pixels.size() * sizeof(Rgba));
+          std::memcpy(msg.payload.data(), &hdr, sizeof(hdr));
+          std::memcpy(msg.payload.data() + sizeof(hdr), pixels.data(),
+                      pixels.size() * sizeof(Rgba));
+        }
+        stats.bytes += msg.bytes;
+        messages.push_back(std::move(msg));
+      }
+    }
+    stats.messages += std::int64_t(messages.size());
+
+    runtime::Runtime::ConsumeFn consume = nullptr;
+    if (execute) {
+      consume = [&](std::int64_t rank,
+                    std::span<const runtime::Message> inbox) {
+        const Rect mine = kept[std::size_t(rank)];
+        if (mine.empty()) return;
+        struct Piece {
+          std::int64_t sender_pos;
+          const Rgba* pixels;  // null = own buffer
+        };
+        std::vector<Piece> pieces;
+        pieces.push_back(Piece{pos[std::size_t(rank)], nullptr});
+        for (const runtime::Message& msg : inbox) {
+          if (msg.payload.empty()) continue;
+          PieceHeader hdr;
+          std::memcpy(&hdr, msg.payload.data(), sizeof(hdr));
+          PVR_ASSERT(hdr.rect == mine);
+          pieces.push_back(Piece{
+              hdr.sender_pos,
+              reinterpret_cast<const Rgba*>(msg.payload.data() +
+                                            sizeof(hdr))});
+        }
+        std::sort(pieces.begin(), pieces.end(),
+                  [](const Piece& a, const Piece& b) {
+                    return a.sender_pos < b.sender_pos;
+                  });
+        Image& buf = buffers[std::size_t(rank)];
+        const std::vector<Rgba> own = buf.extract(mine);
+        std::vector<Rgba> acc(std::size_t(mine.pixel_count()),
+                              kTransparent);
+        for (const Piece& piece : pieces) {
+          const Rgba* src = piece.pixels ? piece.pixels : own.data();
+          for (std::size_t i = 0; i < acc.size(); ++i) {
+            acc[i].blend_under(src[i]);  // near-to-far accumulation
+          }
+        }
+        buf.insert(mine, acc);
+      };
+    }
+    stats.exchange.seconds +=
+        rt_->exchange_messages(std::move(messages), consume).seconds;
+    stats.blend_seconds += double(worst_blend) / mcfg.blends_per_second;
+    for (std::int64_t r = 0; r < n; ++r) {
+      region[std::size_t(r)] = kept[std::size_t(r)];
+    }
+    stride *= k;
+  }
+
+  stats.exchange.messages = stats.messages;
+  stats.exchange.total_bytes = stats.bytes;
+  stats.seconds = stats.exchange.seconds + stats.blend_seconds;
+
+  if (execute && out != nullptr) {
+    *out = Image(width, height);
+    for (std::int64_t r = 0; r < n; ++r) {
+      const Rect rect = region[std::size_t(r)];
+      if (rect.empty()) continue;
+      out->insert(rect, buffers[std::size_t(r)].extract(rect));
+    }
+  }
+  return stats;
+}
+
+}  // namespace pvr::compose

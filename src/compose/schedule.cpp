@@ -1,0 +1,34 @@
+#include "compose/schedule.hpp"
+
+namespace pvr::compose {
+
+std::vector<ScheduledMessage> build_direct_send_schedule(
+    std::span<const BlockScreenInfo> blocks,
+    const ImagePartition& partition) {
+  std::vector<ScheduledMessage> schedule;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const BlockScreenInfo& info = blocks[b];
+    if (info.footprint.empty()) continue;
+    std::int64_t tx0, tx1, ty0, ty1;
+    partition.tile_range(info.footprint, &tx0, &tx1, &ty0, &ty1);
+    for (std::int64_t ty = ty0; ty < ty1; ++ty) {
+      for (std::int64_t tx = tx0; tx < tx1; ++tx) {
+        const std::int64_t tile = partition.tile_index(tx, ty);
+        const Rect r = info.footprint.intersect(partition.tile(tile));
+        if (r.empty()) continue;
+        schedule.push_back(ScheduledMessage{info.rank, tile,
+                                            std::int32_t(b), r, info.depth});
+      }
+    }
+  }
+  return schedule;
+}
+
+std::int64_t total_scheduled_pixels(
+    std::span<const ScheduledMessage> schedule) {
+  std::int64_t total = 0;
+  for (const ScheduledMessage& m : schedule) total += m.pixels();
+  return total;
+}
+
+}  // namespace pvr::compose

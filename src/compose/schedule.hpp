@@ -1,0 +1,43 @@
+// Direct-send message schedule (paper §III-B.3): each renderer sends the
+// intersection of its block's screen footprint with each compositor tile to
+// that tile's owner. The schedule is a pure function of block footprints,
+// depths, and the image partition — identical in model and execute mode,
+// which is what makes the model's message counts exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compose/image_partition.hpp"
+#include "util/image.hpp"
+
+namespace pvr::compose {
+
+/// Screen-space description of one rendered block.
+struct BlockScreenInfo {
+  std::int64_t rank = 0;   ///< renderer owning the block
+  Rect footprint;          ///< screen bounding rect (may be empty)
+  double depth = 0.0;      ///< visibility key (smaller = nearer)
+};
+
+/// One scheduled direct-send message.
+struct ScheduledMessage {
+  std::int64_t src_rank = 0;  ///< renderer
+  std::int64_t dst_rank = 0;  ///< compositor (== tile index)
+  std::int32_t block_index = 0;  ///< index into the BlockScreenInfo span
+  Rect rect;                  ///< pixels carried (footprint ∩ tile)
+  double depth = 0.0;
+  std::int64_t pixels() const { return rect.pixel_count(); }
+};
+
+/// Builds the full direct-send schedule. Compositor for tile i is rank i.
+std::vector<ScheduledMessage> build_direct_send_schedule(
+    std::span<const BlockScreenInfo> blocks, const ImagePartition& partition);
+
+/// Schedule invariants (used by tests and asserted cheaply in debug):
+/// every pixel of every non-empty footprint appears in exactly one message.
+std::int64_t total_scheduled_pixels(
+    std::span<const ScheduledMessage> schedule);
+
+}  // namespace pvr::compose

@@ -1,0 +1,131 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pvr::data {
+
+Variable variable_from_name(const std::string& name) {
+  if (name == "pressure") return Variable::kPressure;
+  if (name == "density") return Variable::kDensity;
+  if (name == "vx") return Variable::kVx;
+  if (name == "vy") return Variable::kVy;
+  if (name == "vz") return Variable::kVz;
+  throw Error("unknown variable name: " + name);
+}
+
+SupernovaField::SupernovaField(std::uint64_t seed) : seed_(seed) {}
+
+namespace {
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+double lattice(std::uint64_t seed, std::uint64_t salt, std::int64_t x,
+               std::int64_t y, std::int64_t z) {
+  const std::uint64_t h = pvr::hash_mix(seed ^ salt, std::uint64_t(x) * 73856093ULL ^
+                                                         std::uint64_t(y) * 19349663ULL,
+                                        std::uint64_t(z) * 83492791ULL);
+  return double(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;  // [-1, 1)
+}
+
+}  // namespace
+
+double SupernovaField::noise(const Vec3d& p, double freq,
+                             std::uint64_t salt) const {
+  const Vec3d q = p * freq;
+  const std::int64_t x0 = std::int64_t(std::floor(q.x));
+  const std::int64_t y0 = std::int64_t(std::floor(q.y));
+  const std::int64_t z0 = std::int64_t(std::floor(q.z));
+  const double fx = smoothstep(q.x - double(x0));
+  const double fy = smoothstep(q.y - double(y0));
+  const double fz = smoothstep(q.z - double(z0));
+  double c[2][2][2];
+  for (int dz = 0; dz < 2; ++dz) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        c[dz][dy][dx] = lattice(seed_, salt, x0 + dx, y0 + dy, z0 + dz);
+      }
+    }
+  }
+  auto lerp = [](double a, double b, double t) { return a + t * (b - a); };
+  const double c00 = lerp(c[0][0][0], c[0][0][1], fx);
+  const double c01 = lerp(c[0][1][0], c[0][1][1], fx);
+  const double c10 = lerp(c[1][0][0], c[1][0][1], fx);
+  const double c11 = lerp(c[1][1][0], c[1][1][1], fx);
+  const double c0 = lerp(c00, c01, fy);
+  const double c1 = lerp(c10, c11, fy);
+  return lerp(c0, c1, fz);
+}
+
+double SupernovaField::fbm(const Vec3d& p, double base_freq,
+                           std::uint64_t salt) const {
+  return 0.60 * noise(p, base_freq, salt) +
+         0.28 * noise(p, base_freq * 2.17, salt + 1) +
+         0.12 * noise(p, base_freq * 4.61, salt + 2);
+}
+
+float SupernovaField::value(Variable var, const Vec3d& p) const {
+  const Vec3d c{0.5, 0.5, 0.5};
+  const Vec3d rel = p - c;
+  const double r = rel.length();
+  const Vec3d dir = r > 1e-9 ? rel / r : Vec3d{0, 0, 1};
+
+  // Shock shell radius perturbed by low-frequency turbulence (the standing
+  // accretion shock instability gives the shell its lumpy shape).
+  const double shell_r = 0.33 + 0.05 * fbm(dir * 0.5 + c, 4.0, 11);
+  const double shell = std::exp(-std::pow((r - shell_r) / 0.045, 2.0));
+  const double core = std::exp(-std::pow(r / 0.09, 2.0));
+  const double interior = r < shell_r ? 0.35 * (1.0 - r / shell_r) : 0.0;
+  const double turb = fbm(p, 9.0, 23);
+
+  double v = 0.0;
+  switch (var) {
+    case Variable::kPressure:
+      v = 0.08 + 0.62 * shell * (0.75 + 0.35 * turb) + 0.85 * core +
+          0.5 * interior;
+      break;
+    case Variable::kDensity:
+      v = 0.05 + 0.55 * shell * (0.70 + 0.45 * turb) + 0.95 * core +
+          0.6 * interior;
+      break;
+    case Variable::kVx:
+    case Variable::kVy:
+    case Variable::kVz: {
+      // Radial outflow at the shell, infall inside it, plus turbulence.
+      const double radial = shell - 0.7 * interior;
+      const int axis = int(var) - int(Variable::kVx);
+      const double comp = (axis == 0 ? dir.x : axis == 1 ? dir.y : dir.z);
+      v = 0.5 + 0.38 * radial * comp +
+          0.10 * fbm(p, 13.0, 31 + std::uint64_t(axis));
+      break;
+    }
+  }
+  return float(std::clamp(v, 0.0, 1.0));
+}
+
+float SupernovaField::at_voxel(Variable var, const Vec3i& voxel,
+                               const Vec3i& dims) const {
+  PVR_ASSERT(dims.x > 0 && dims.y > 0 && dims.z > 0);
+  const Vec3d p{(double(voxel.x) + 0.5) / double(dims.x),
+                (double(voxel.y) + 0.5) / double(dims.y),
+                (double(voxel.z) + 0.5) / double(dims.z)};
+  return value(var, p);
+}
+
+void SupernovaField::fill_brick(Variable var, const Vec3i& dims,
+                                Brick* brick) const {
+  PVR_REQUIRE(brick != nullptr, "null brick");
+  const Box3i& b = brick->box();
+  for (std::int64_t z = b.lo.z; z < b.hi.z; ++z) {
+    for (std::int64_t y = b.lo.y; y < b.hi.y; ++y) {
+      for (std::int64_t x = b.lo.x; x < b.hi.x; ++x) {
+        brick->at(x, y, z) = at_voxel(var, {x, y, z}, dims);
+      }
+    }
+  }
+}
+
+}  // namespace pvr::data

@@ -1,0 +1,63 @@
+// Dataset descriptors: everything the layout math needs to locate any byte
+// of any variable in a stored volume file, without touching the file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/vec.hpp"
+
+namespace pvr::format {
+
+/// Storage formats studied by the paper (its five I/O modes map to these
+/// plus a tuning hint on kNetcdfRecord).
+enum class FileFormat {
+  kRaw,           ///< single-variable brick of floats, x fastest
+  kNetcdfRecord,  ///< netCDF classic CDF-2, record variables (VH-1's layout)
+  kNetcdf64,      ///< CDF-5 ("new netCDF, 64-bit addressing"), non-record
+  kShdf,          ///< HDF5-like container: contiguous per-variable data
+};
+
+const char* format_name(FileFormat fmt);
+
+/// Description of one stored time step.
+struct DatasetDesc {
+  FileFormat format = FileFormat::kRaw;
+  Vec3i dims{0, 0, 0};  ///< grid size per variable (x, y, z)
+  std::vector<std::string> variables;  ///< raw files hold exactly one
+  std::int64_t element_bytes = 4;      ///< float32 scalars, as in the paper
+
+  std::int64_t num_variables() const {
+    return static_cast<std::int64_t>(variables.size());
+  }
+  std::int64_t elements_per_variable() const { return dims.volume(); }
+  std::int64_t bytes_per_variable() const {
+    return elements_per_variable() * element_bytes;
+  }
+  /// Bytes of one z-slice of one variable (a netCDF record).
+  std::int64_t slice_bytes() const { return dims.x * dims.y * element_bytes; }
+
+  int variable_index(const std::string& name) const {
+    for (std::size_t i = 0; i < variables.size(); ++i) {
+      if (variables[i] == name) return static_cast<int>(i);
+    }
+    throw Error("no such variable: " + name);
+  }
+};
+
+/// The paper's supernova time step: five float32 scalars on an n^3 grid.
+inline DatasetDesc supernova_desc(FileFormat format, std::int64_t n) {
+  DatasetDesc d;
+  d.format = format;
+  d.dims = {n, n, n};
+  if (format == FileFormat::kRaw) {
+    d.variables = {"pressure"};  // raw mode stores one extracted variable
+  } else {
+    d.variables = {"pressure", "density", "vx", "vy", "vz"};
+  }
+  return d;
+}
+
+}  // namespace pvr::format

@@ -1,0 +1,53 @@
+// File extents: half-open byte ranges [offset, offset+length) within a file,
+// the currency between format layouts, the collective I/O engine, and the
+// storage model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pvr::format {
+
+struct Extent {
+  std::int64_t offset = 0;
+  std::int64_t length = 0;
+
+  std::int64_t end() const { return offset + length; }
+  bool operator==(const Extent&) const = default;
+};
+
+/// Sorts extents by offset and merges adjacent/overlapping ones in place.
+inline void coalesce(std::vector<Extent>& extents) {
+  if (extents.size() < 2) return;
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].offset <= extents[out].end()) {
+      extents[out].length =
+          std::max(extents[out].end(), extents[i].end()) - extents[out].offset;
+    } else {
+      extents[++out] = extents[i];
+    }
+  }
+  extents.resize(out + 1);
+}
+
+/// Total bytes covered (extents assumed coalesced or disjoint).
+inline std::int64_t total_bytes(const std::vector<Extent>& extents) {
+  std::int64_t sum = 0;
+  for (const Extent& e : extents) sum += e.length;
+  return sum;
+}
+
+/// Intersection of two extents; length <= 0 means empty.
+inline Extent intersect(const Extent& a, const Extent& b) {
+  const std::int64_t lo = std::max(a.offset, b.offset);
+  const std::int64_t hi = std::min(a.end(), b.end());
+  return Extent{lo, hi - lo};
+}
+
+}  // namespace pvr::format

@@ -1,0 +1,109 @@
+#include "format/file_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace pvr::format {
+
+DiskFile::DiskFile(const std::string& path, OpenMode mode) : path_(path) {
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags = O_RDONLY;
+      break;
+    case OpenMode::kReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+    case OpenMode::kTruncate:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+  }
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) throw Error("cannot open file: " + path);
+}
+
+DiskFile::~DiskFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::int64_t DiskFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw Error("fstat failed: " + path_);
+  return std::int64_t(st.st_size);
+}
+
+void DiskFile::read_at(std::int64_t offset, std::span<std::byte> buf) const {
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::pread(fd_, buf.data() + done, buf.size() - done,
+                              off_t(offset + std::int64_t(done)));
+    if (n <= 0) throw Error("short read at offset " + std::to_string(offset) +
+                            ": " + path_);
+    done += std::size_t(n);
+  }
+}
+
+void DiskFile::write_at(std::int64_t offset,
+                        std::span<const std::byte> buf) {
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::pwrite(fd_, buf.data() + done, buf.size() - done,
+                               off_t(offset + std::int64_t(done)));
+    if (n <= 0) throw Error("short write: " + path_);
+    done += std::size_t(n);
+  }
+}
+
+void DiskFile::truncate(std::int64_t bytes) {
+  if (::ftruncate(fd_, off_t(bytes)) != 0) {
+    throw Error("ftruncate failed: " + path_);
+  }
+}
+
+void MemoryFile::read_at(std::int64_t offset,
+                         std::span<std::byte> buf) const {
+  PVR_REQUIRE(offset >= 0 &&
+                  offset + std::int64_t(buf.size()) <= std::int64_t(bytes_.size()),
+              "memory file read out of range");
+  std::memcpy(buf.data(), bytes_.data() + offset, buf.size());
+}
+
+void MemoryFile::write_at(std::int64_t offset,
+                          std::span<const std::byte> buf) {
+  PVR_REQUIRE(offset >= 0, "negative write offset");
+  const std::size_t end = std::size_t(offset) + buf.size();
+  if (end > bytes_.size()) bytes_.resize(end);
+  std::memcpy(bytes_.data() + offset, buf.data(), buf.size());
+}
+
+void floats_to_big_endian(std::span<const float> in,
+                          std::span<std::byte> out) {
+  PVR_REQUIRE(out.size() == in.size() * 4, "buffer size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &in[i], 4);
+    out[i * 4 + 0] = std::byte(bits >> 24);
+    out[i * 4 + 1] = std::byte(bits >> 16);
+    out[i * 4 + 2] = std::byte(bits >> 8);
+    out[i * 4 + 3] = std::byte(bits);
+  }
+}
+
+void big_endian_to_floats(std::span<const std::byte> in,
+                          std::span<float> out) {
+  PVR_REQUIRE(in.size() == out.size() * 4, "buffer size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint32_t bits = (std::uint32_t(in[i * 4 + 0]) << 24) |
+                               (std::uint32_t(in[i * 4 + 1]) << 16) |
+                               (std::uint32_t(in[i * 4 + 2]) << 8) |
+                               std::uint32_t(in[i * 4 + 3]);
+    std::memcpy(&out[i], &bits, 4);
+  }
+}
+
+}  // namespace pvr::format

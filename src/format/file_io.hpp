@@ -1,0 +1,73 @@
+// Byte-level file access used by execute mode: positional reads/writes on
+// real local files, plus an in-memory file for tests. Model mode never
+// touches these (it works from descriptors alone).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pvr::format {
+
+/// Abstract positional byte source/sink.
+class FileHandle {
+ public:
+  virtual ~FileHandle() = default;
+  virtual std::int64_t size() const = 0;
+  /// Reads exactly buf.size() bytes at `offset`; throws on short read.
+  virtual void read_at(std::int64_t offset, std::span<std::byte> buf) const = 0;
+  /// Writes exactly buf.size() bytes at `offset`, growing the file.
+  virtual void write_at(std::int64_t offset,
+                        std::span<const std::byte> buf) = 0;
+};
+
+/// A real file on local disk (POSIX positional I/O).
+class DiskFile : public FileHandle {
+ public:
+  enum class OpenMode { kRead, kReadWrite, kTruncate };
+  DiskFile(const std::string& path, OpenMode mode);
+  ~DiskFile() override;
+  DiskFile(const DiskFile&) = delete;
+  DiskFile& operator=(const DiskFile&) = delete;
+
+  std::int64_t size() const override;
+  void read_at(std::int64_t offset, std::span<std::byte> buf) const override;
+  void write_at(std::int64_t offset,
+                std::span<const std::byte> buf) override;
+  /// Extends the file to `bytes` (sparse) without writing data.
+  void truncate(std::int64_t bytes);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// An in-memory file for unit tests.
+class MemoryFile : public FileHandle {
+ public:
+  MemoryFile() = default;
+  explicit MemoryFile(std::vector<std::byte> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::int64_t size() const override {
+    return std::int64_t(bytes_.size());
+  }
+  void read_at(std::int64_t offset, std::span<std::byte> buf) const override;
+  void write_at(std::int64_t offset,
+                std::span<const std::byte> buf) override;
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Host byte order → big-endian float conversion helpers (netCDF stores
+/// big-endian IEEE-754; raw and SHDF store native little-endian).
+void floats_to_big_endian(std::span<const float> in, std::span<std::byte> out);
+void big_endian_to_floats(std::span<const std::byte> in, std::span<float> out);
+
+}  // namespace pvr::format

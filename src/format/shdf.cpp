@@ -1,0 +1,136 @@
+#include "format/shdf.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace pvr::format::shdf {
+
+namespace {
+
+std::int64_t align_up(std::int64_t v, std::int64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+std::int64_t data_start(std::int64_t nvars) {
+  return align_up(kSuperblockBytes + nvars * kObjectHeaderBytes,
+                  kDataAlignment);
+}
+
+void put_u32(std::vector<std::byte>& out, std::size_t at, std::uint32_t v) {
+  PVR_ASSERT(at + 4 <= out.size());
+  std::memcpy(out.data() + at, &v, 4);
+}
+void put_i64(std::vector<std::byte>& out, std::size_t at, std::int64_t v) {
+  PVR_ASSERT(at + 8 <= out.size());
+  std::memcpy(out.data() + at, &v, 8);
+}
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  std::uint32_t v;
+  PVR_REQUIRE(at + 4 <= in.size(), "truncated SHDF metadata");
+  std::memcpy(&v, in.data() + at, 4);
+  return v;
+}
+std::int64_t get_i64(std::span<const std::byte> in, std::size_t at) {
+  std::int64_t v;
+  PVR_REQUIRE(at + 8 <= in.size(), "truncated SHDF metadata");
+  std::memcpy(&v, in.data() + at, 8);
+  return v;
+}
+
+}  // namespace
+
+std::int64_t FileInfo::file_bytes() const {
+  std::int64_t end = data_start(std::int64_t(vars.size()));
+  for (const VarInfo& v : vars) end = std::max(end, v.offset + v.nbytes);
+  return end;
+}
+
+int FileInfo::var_index(const std::string& name) const {
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i].name == name) return int(i);
+  }
+  throw Error("no such SHDF variable: " + name);
+}
+
+FileInfo make_layout(const Vec3i& dims, const std::vector<std::string>& names,
+                     std::int64_t element_bytes) {
+  PVR_REQUIRE(dims.x > 0 && dims.y > 0 && dims.z > 0, "bad dims");
+  PVR_REQUIRE(!names.empty(), "need at least one variable");
+  FileInfo info;
+  info.dims = dims;
+  info.element_bytes = element_bytes;
+  const std::int64_t var_bytes = dims.volume() * element_bytes;
+  std::int64_t pos = data_start(std::int64_t(names.size()));
+  for (const std::string& name : names) {
+    PVR_REQUIRE(name.size() < 64, "SHDF variable name too long");
+    info.vars.push_back(VarInfo{name, pos, var_bytes});
+    pos += align_up(var_bytes, kDataAlignment);
+  }
+  return info;
+}
+
+std::vector<std::byte> encode_metadata(const FileInfo& info) {
+  const std::int64_t nvars = std::int64_t(info.vars.size());
+  std::vector<std::byte> out(std::size_t(data_start(nvars)));
+  put_u32(out, 0, kMagic);
+  put_u32(out, 4, kVersion);
+  put_u32(out, 8, std::uint32_t(nvars));
+  put_i64(out, 16, info.dims.x);
+  put_i64(out, 24, info.dims.y);
+  put_i64(out, 32, info.dims.z);
+  put_i64(out, 40, info.element_bytes);
+  for (std::int64_t i = 0; i < nvars; ++i) {
+    const VarInfo& v = info.vars[std::size_t(i)];
+    const std::size_t base =
+        std::size_t(kSuperblockBytes + i * kObjectHeaderBytes);
+    std::memcpy(out.data() + base, v.name.data(), v.name.size());
+    // name is NUL-terminated by the zero-initialized buffer
+    put_i64(out, base + 64, v.offset);
+    put_i64(out, base + 72, v.nbytes);
+    // Attribute block: a free-form tag string, mirroring HDF5 attributes.
+    const std::string attr = "units=code;layout=contiguous";
+    std::memcpy(out.data() + base + std::size_t(kAttrBlockOffset),
+                attr.data(), attr.size());
+  }
+  return out;
+}
+
+FileInfo decode_metadata(std::span<const std::byte> bytes) {
+  PVR_REQUIRE(get_u32(bytes, 0) == kMagic, "not an SHDF file (bad magic)");
+  PVR_REQUIRE(get_u32(bytes, 4) == kVersion, "unsupported SHDF version");
+  const std::uint32_t nvars = get_u32(bytes, 8);
+  PVR_REQUIRE(nvars > 0 && nvars < 4096, "unreasonable SHDF variable count");
+  FileInfo info;
+  info.dims = {get_i64(bytes, 16), get_i64(bytes, 24), get_i64(bytes, 32)};
+  info.element_bytes = get_i64(bytes, 40);
+  PVR_REQUIRE(info.dims.x > 0 && info.dims.y > 0 && info.dims.z > 0,
+              "bad SHDF dims");
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    const std::size_t base =
+        std::size_t(kSuperblockBytes + std::int64_t(i) * kObjectHeaderBytes);
+    PVR_REQUIRE(base + 80 <= bytes.size(), "truncated SHDF object header");
+    const char* cname = reinterpret_cast<const char*>(bytes.data() + base);
+    VarInfo v;
+    v.name.assign(cname, strnlen(cname, 63));
+    v.offset = get_i64(bytes, base + 64);
+    v.nbytes = get_i64(bytes, base + 72);
+    PVR_REQUIRE(v.offset >= 0 && v.nbytes >= 0, "bad SHDF var extent");
+    info.vars.push_back(std::move(v));
+  }
+  return info;
+}
+
+std::vector<Extent> open_metadata_accesses(const FileInfo& info) {
+  std::vector<Extent> accesses;
+  accesses.push_back(Extent{0, 96});  // superblock fields actually used
+  for (std::size_t i = 0; i < info.vars.size(); ++i) {
+    const std::int64_t base =
+        kSuperblockBytes + std::int64_t(i) * kObjectHeaderBytes;
+    accesses.push_back(Extent{base, 80});                   // object header
+    accesses.push_back(Extent{base + kAttrBlockOffset, 64});  // attributes
+  }
+  return accesses;
+}
+
+}  // namespace pvr::format::shdf

@@ -1,0 +1,65 @@
+// SHDF ("simple hierarchical data format") — the repository's stand-in for
+// HDF5. The paper uses HDF5 as "a layout where one variable's bytes are
+// collocated": per-variable contiguous data plus a handful of small metadata
+// reads at open time (the paper logs 11 accesses of <= 600 bytes per
+// process). SHDF reproduces exactly those properties with a simple,
+// fully-specified binary layout:
+//
+//   [0,      512)  superblock: magic "SHDF", version, nvars, dims, elem size
+//   [512 + i*512, ...)  per-variable object header (name, offset, nbytes)
+//   [512 + i*512 + 256, ...) per-variable attribute block
+//   data_start = align4096(512 + nvars*512)
+//   variable i data: contiguous at data_start + i*align4096(var_bytes)
+//
+// All integers little-endian (native); data is native float32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "format/extent.hpp"
+#include "util/vec.hpp"
+
+namespace pvr::format::shdf {
+
+constexpr std::uint32_t kMagic = 0x46444853;  // "SHDF" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::int64_t kSuperblockBytes = 512;
+constexpr std::int64_t kObjectHeaderBytes = 512;
+constexpr std::int64_t kAttrBlockOffset = 256;  // within an object header
+constexpr std::int64_t kDataAlignment = 4096;
+
+struct VarInfo {
+  std::string name;       ///< up to 63 chars
+  std::int64_t offset = 0;  ///< absolute file offset of the data
+  std::int64_t nbytes = 0;
+};
+
+/// Parsed/derived SHDF file structure.
+struct FileInfo {
+  Vec3i dims{0, 0, 0};
+  std::int64_t element_bytes = 4;
+  std::vector<VarInfo> vars;
+
+  std::int64_t file_bytes() const;
+  int var_index(const std::string& name) const;
+};
+
+/// Computes the layout for a volume of `dims` with the named variables.
+FileInfo make_layout(const Vec3i& dims, const std::vector<std::string>& names,
+                     std::int64_t element_bytes = 4);
+
+/// Encodes superblock + object headers (the first data_start bytes).
+std::vector<std::byte> encode_metadata(const FileInfo& info);
+
+/// Parses the metadata region; throws pvr::Error on malformed input.
+FileInfo decode_metadata(std::span<const std::byte> bytes);
+
+/// The small metadata reads a process performs when opening the file:
+/// 1 superblock + 2 per variable (object header + attribute block), each
+/// well under the paper's 600-byte observation.
+std::vector<Extent> open_metadata_accesses(const FileInfo& info);
+
+}  // namespace pvr::format::shdf

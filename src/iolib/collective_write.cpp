@@ -1,0 +1,284 @@
+#include "iolib/collective_write.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace pvr::iolib {
+
+namespace {
+
+struct SlabEntry {
+  format::SlabRequest slab;
+  std::int32_t brick_index = 0;
+  std::int64_t z = 0;
+};
+
+/// Copies the part of `slab` inside [lo, hi) from the owning brick into a
+/// window buffer covering file range [buf_lo, ...), converting endianness.
+void gather_slab(const format::SlabRequest& slab, std::int64_t z,
+                 std::int64_t lo, std::int64_t hi, std::span<std::byte> buf,
+                 std::int64_t buf_lo, bool big_endian, const Brick& brick) {
+  const Box3i& box = brick.box();
+  const std::int64_t eb = 4;
+  for (std::int64_t r = 0; r < slab.nrows; ++r) {
+    const std::int64_t row_start = slab.first + r * slab.row_stride;
+    const std::int64_t row_end = row_start + slab.row_bytes;
+    const std::int64_t s = std::max(row_start, lo);
+    const std::int64_t e = std::min(row_end, hi);
+    if (s >= e) continue;
+    const std::int64_t y = box.lo.y + r;
+    const std::int64_t x0 = box.lo.x + (s - row_start) / eb;
+    const std::size_t count = std::size_t((e - s) / eb);
+    PVR_ASSERT(s - buf_lo >= 0 &&
+               std::size_t(s - buf_lo) + count * 4 <= buf.size());
+    const float* src = brick.data().data() + brick.row_index(y, z) +
+                       std::size_t(x0 - box.lo.x);
+    std::byte* dst = buf.data() + (s - buf_lo);
+    if (big_endian) {
+      format::floats_to_big_endian({src, count}, {dst, count * 4});
+    } else {
+      std::memcpy(dst, src, count * 4);
+    }
+  }
+}
+
+}  // namespace
+
+CollectiveWriter::CollectiveWriter(runtime::Runtime& rt,
+                                   const storage::StorageModel& sm,
+                                   const Hints& hints)
+    : rt_(&rt), storage_(&sm), hints_(hints) {
+  PVR_REQUIRE(hints.cb_buffer_bytes > 0, "cb_buffer_bytes must be positive");
+  PVR_REQUIRE(hints.aggregators_per_ion > 0,
+              "aggregators_per_ion must be positive");
+}
+
+ReadResult CollectiveWriter::write(const format::VolumeLayout& layout,
+                                   int var,
+                                   std::span<const RankBlock> blocks,
+                                   format::FileHandle* file,
+                                   std::span<const Brick> bricks,
+                                   storage::AccessLog* log) {
+  const int vars[] = {var};
+  return write_vars(layout, vars, blocks, file, bricks, log);
+}
+
+ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
+                                        std::span<const int> vars,
+                                        std::span<const RankBlock> blocks,
+                                        format::FileHandle* file,
+                                        std::span<const Brick> bricks,
+                                        storage::AccessLog* log) {
+  PVR_REQUIRE(!vars.empty(), "need at least one variable");
+  const bool execute = rt_->mode() == runtime::Mode::kExecute &&
+                       file != nullptr && !bricks.empty();
+  if (execute) {
+    PVR_REQUIRE(bricks.size() == blocks.size() * vars.size(),
+                "need one brick per (block, variable) in execute mode");
+    PVR_REQUIRE(layout.desc().element_bytes == 4,
+                "execute-mode gather supports float32 only");
+    for (std::size_t i = 0; i < bricks.size(); ++i) {
+      PVR_REQUIRE(bricks[i].box() == blocks[i / vars.size()].box,
+                  "brick box must match its block");
+    }
+  }
+
+  ReadResult result;
+
+  // ---- Phase 1: slab entries, as in the reader.
+  std::vector<SlabEntry> entries;
+  std::vector<format::SlabRequest> slabs;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Box3i clipped =
+        blocks[i].box.intersect(Box3i{{0, 0, 0}, layout.desc().dims});
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      slabs.clear();
+      layout.subvolume_slabs(vars[v], blocks[i].box, &slabs);
+      for (std::size_t s = 0; s < slabs.size(); ++s) {
+        result.useful_bytes += slabs[s].useful_bytes();
+        entries.push_back(
+            SlabEntry{slabs[s], std::int32_t(i * vars.size() + v),
+                      clipped.lo.z + std::int64_t(s)});
+      }
+    }
+  }
+  if (entries.empty()) return result;
+  std::sort(entries.begin(), entries.end(),
+            [](const SlabEntry& a, const SlabEntry& b) {
+              return a.slab.first < b.slab.first;
+            });
+
+  // ---- Phase 2: stripe-aligned file domains (identical to the reader).
+  const auto& part = rt_->partition();
+  const std::int64_t stripe = storage_->config().stripe_bytes;
+  const std::int64_t num_aggs =
+      std::clamp<std::int64_t>(part.num_ions() * hints_.aggregators_per_ion,
+                               1, part.num_ranks());
+  std::int64_t range_lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t range_hi = 0;
+  for (const SlabEntry& e : entries) {
+    range_lo = std::min(range_lo, e.slab.first);
+    range_hi = std::max(range_hi, e.slab.hull_end());
+  }
+  const bool align = (range_hi - range_lo) >= num_aggs * 2 * stripe;
+  std::vector<std::int64_t> dom_start(std::size_t(num_aggs) + 1);
+  const double span = double(range_hi - range_lo);
+  for (std::int64_t d = 0; d <= num_aggs; ++d) {
+    std::int64_t b = range_lo +
+                     std::int64_t(span * double(d) / double(num_aggs));
+    if (align && d != 0 && d != num_aggs) b = b / stripe * stripe;
+    dom_start[std::size_t(d)] = b;
+  }
+  dom_start[std::size_t(num_aggs)] = range_hi;
+  for (std::size_t d = 1; d < dom_start.size(); ++d) {
+    dom_start[d] = std::max(dom_start[d], dom_start[d - 1]);
+  }
+  const auto agg_rank = [&](std::int64_t d) {
+    return d * part.num_ranks() / num_aggs;
+  };
+  const auto domain_of = [&](std::int64_t offset) {
+    const auto it =
+        std::upper_bound(dom_start.begin(), dom_start.end() - 1, offset);
+    return std::int64_t(it - dom_start.begin()) - 1;
+  };
+
+  // ---- Phase 3: chunk coverage + shuffle bytes (rank -> aggregator).
+  struct Chunk {
+    std::int64_t lo = 0, hi = 0;     // window extent
+    std::int64_t wanted = 0;         // bytes the ranks will write
+    std::int64_t trim_lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t trim_hi = 0;        // span actually touched by writers
+    std::vector<std::int32_t> entry_idx;  // execute mode only
+  };
+  std::map<std::int64_t, Chunk> chunks;
+  struct PairBytes {
+    std::int64_t rank = 0, agg = 0, bytes = 0;
+  };
+  std::vector<PairBytes> pair_bytes;
+  const std::int64_t cb = hints_.cb_buffer_bytes;
+
+  for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    const SlabEntry& e = entries[ei];
+    const std::int64_t h_lo = e.slab.first;
+    const std::int64_t h_hi = e.slab.hull_end();
+    for (std::int64_t d = domain_of(h_lo);
+         d < num_aggs && dom_start[std::size_t(d)] < h_hi; ++d) {
+      const std::int64_t d_lo = dom_start[std::size_t(d)];
+      const std::int64_t d_hi = dom_start[std::size_t(d) + 1];
+      if (d_hi <= d_lo) continue;
+      const std::int64_t o_lo = std::max(h_lo, d_lo);
+      const std::int64_t o_hi = std::min(h_hi, d_hi);
+      if (o_lo >= o_hi) continue;
+      const std::int64_t c_first = (o_lo - d_lo) / cb;
+      const std::int64_t c_last = (o_hi - 1 - d_lo) / cb;
+      std::int64_t slab_agg_bytes = 0;
+      for (std::int64_t c = c_first; c <= c_last; ++c) {
+        const std::int64_t w_lo = d_lo + c * cb;
+        const std::int64_t w_hi = std::min(d_hi, w_lo + cb);
+        const std::int64_t wanted =
+            e.slab.useful_bytes_in(w_lo, w_hi);
+        if (wanted == 0) continue;
+        Chunk& chunk = chunks[(d << 24) | c];
+        chunk.lo = w_lo;
+        chunk.hi = w_hi;
+        chunk.wanted += wanted;
+        chunk.trim_lo = std::min(
+            chunk.trim_lo,
+            e.slab.first_wanted_at_or_after(std::max(w_lo, h_lo)));
+        chunk.trim_hi = std::max(
+            chunk.trim_hi, e.slab.last_wanted_before(std::min(w_hi, h_hi)));
+        if (execute) chunk.entry_idx.push_back(std::int32_t(ei));
+        slab_agg_bytes += wanted;
+      }
+      if (slab_agg_bytes > 0) {
+        pair_bytes.push_back(PairBytes{
+            blocks[std::size_t(e.brick_index) / vars.size()].rank,
+            agg_rank(d), slab_agg_bytes});
+      }
+    }
+  }
+
+  // ---- Phase 4: the shuffle (writer -> aggregator), priced on the torus.
+  std::sort(pair_bytes.begin(), pair_bytes.end(),
+            [](const PairBytes& a, const PairBytes& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.agg < b.agg;
+            });
+  std::vector<runtime::Message> shuffle;
+  for (std::size_t i = 0; i < pair_bytes.size();) {
+    std::int64_t bytes = 0;
+    std::size_t j = i;
+    while (j < pair_bytes.size() && pair_bytes[j].rank == pair_bytes[i].rank &&
+           pair_bytes[j].agg == pair_bytes[i].agg) {
+      bytes += pair_bytes[j].bytes;
+      ++j;
+    }
+    shuffle.push_back(runtime::Message{pair_bytes[i].rank, pair_bytes[i].agg,
+                                       0, bytes, {}});
+    i = j;
+  }
+  std::int64_t max_domain = 0;
+  for (std::int64_t d = 0; d < num_aggs; ++d) {
+    max_domain = std::max(max_domain, dom_start[std::size_t(d) + 1] -
+                                          dom_start[std::size_t(d)]);
+  }
+  const int rounds = int(std::max<std::int64_t>(1, ceil_div(max_domain, cb)));
+  result.shuffle_cost =
+      rt_->exchange_messages(std::move(shuffle), nullptr, rounds);
+
+  // ---- Phase 5: physical accesses. A window fully covered by wanted bytes
+  // is one pure write; a partially covered one needs read-modify-write
+  // sieving: read the touched span, merge, write it back (2 accesses).
+  std::vector<storage::PhysicalAccess> accesses;
+  for (const auto& [key, chunk] : chunks) {
+    const std::int64_t d = key >> 24;
+    const std::int64_t span_len = chunk.trim_hi - chunk.trim_lo;
+    PVR_ASSERT(span_len > 0);
+    const bool rmw = chunk.wanted < span_len;
+    if (rmw) {
+      accesses.push_back(
+          storage::PhysicalAccess{chunk.trim_lo, span_len, agg_rank(d)});
+    }
+    accesses.push_back(
+        storage::PhysicalAccess{chunk.trim_lo, span_len, agg_rank(d)});
+  }
+  result.storage_cost = storage_->read_cost(accesses);
+  result.accesses = result.storage_cost.accesses;
+  result.physical_bytes = result.storage_cost.physical_bytes;
+  if (log != nullptr) {
+    log->record_all(accesses);
+    log->set_useful_bytes(result.useful_bytes);
+  }
+
+  // ---- Execute mode: assemble each window and write it.
+  if (execute) {
+    std::vector<std::byte> buf;
+    for (const auto& [key, chunk] : chunks) {
+      const std::int64_t len = chunk.trim_hi - chunk.trim_lo;
+      buf.resize(std::size_t(len));
+      const bool rmw = chunk.wanted < len;
+      if (rmw && chunk.trim_lo + len <= file->size()) {
+        file->read_at(chunk.trim_lo, buf);  // preserve the holes
+      } else if (rmw) {
+        std::memset(buf.data(), 0, buf.size());
+      }
+      for (const std::int32_t ei : chunk.entry_idx) {
+        const SlabEntry& e = entries[std::size_t(ei)];
+        gather_slab(e.slab, e.z, std::max(chunk.lo, chunk.trim_lo),
+                    std::min(chunk.hi, chunk.trim_hi), buf, chunk.trim_lo,
+                    layout.big_endian_data(),
+                    bricks[std::size_t(e.brick_index)]);
+      }
+      file->write_at(chunk.trim_lo, buf);
+    }
+  }
+
+  result.seconds = result.storage_cost.seconds + result.shuffle_cost.seconds;
+  return result;
+}
+
+}  // namespace pvr::iolib

@@ -1,0 +1,50 @@
+// Two-phase collective write — the mirror of CollectiveReader, and the path
+// a simulation like VH-1 uses to produce the very files this paper studies.
+//
+// Ranks ship their rows to stripe-aligned aggregators (the shuffle, reversed
+// relative to a read); each aggregator assembles its cb-buffer windows and
+// writes them. A window whose wanted bytes do not cover the written span
+// needs read-modify-write data sieving (one read + one write); fully covered
+// windows are written in one access. Model mode prices exactly those
+// accesses; execute mode additionally moves the bytes and produces a real
+// file (validated against the serial writer in the tests).
+#pragma once
+
+#include <span>
+
+#include "iolib/collective_read.hpp"
+
+namespace pvr::iolib {
+
+class CollectiveWriter {
+ public:
+  CollectiveWriter(runtime::Runtime& rt, const storage::StorageModel& sm,
+                   const Hints& hints);
+
+  /// Writes the listed variables, one block per entry of `blocks`. In
+  /// execute mode pass the real `file` and blocks.size() * vars.size()
+  /// source bricks (variable-major per block, like read_vars). Blocks must
+  /// tile the volume without overlap for a well-defined file (ghost layers
+  /// would write the same bytes twice — harmless but wasteful; pass
+  /// non-ghosted boxes).
+  ReadResult write_vars(const format::VolumeLayout& layout,
+                        std::span<const int> vars,
+                        std::span<const RankBlock> blocks,
+                        format::FileHandle* file = nullptr,
+                        std::span<const Brick> bricks = {},
+                        storage::AccessLog* log = nullptr);
+
+  /// Single-variable convenience.
+  ReadResult write(const format::VolumeLayout& layout, int var,
+                   std::span<const RankBlock> blocks,
+                   format::FileHandle* file = nullptr,
+                   std::span<const Brick> bricks = {},
+                   storage::AccessLog* log = nullptr);
+
+ private:
+  runtime::Runtime* rt_;
+  const storage::StorageModel* storage_;
+  Hints hints_;
+};
+
+}  // namespace pvr::iolib

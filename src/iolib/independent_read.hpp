@@ -1,0 +1,33 @@
+// Independent (non-collective) reads: every rank reads its own rows straight
+// from the file system, optionally with per-slab data sieving. This is the
+// baseline that collective buffering exists to beat (ablation A3): without
+// aggregation the file system sees one request per row — millions of tiny
+// accesses at scale.
+#pragma once
+
+#include <span>
+
+#include "iolib/collective_read.hpp"
+
+namespace pvr::iolib {
+
+class IndependentReader {
+ public:
+  IndependentReader(runtime::Runtime& rt, const storage::StorageModel& sm,
+                    const Hints& hints);
+
+  /// Same contract as CollectiveReader::read, but no aggregation and no
+  /// shuffle: each rank issues its own accesses.
+  ReadResult read(const format::VolumeLayout& layout, int var,
+                  std::span<const RankBlock> blocks,
+                  format::FileHandle* file = nullptr,
+                  std::span<Brick> bricks = {},
+                  storage::AccessLog* log = nullptr);
+
+ private:
+  runtime::Runtime* rt_;
+  const storage::StorageModel* storage_;
+  Hints hints_;
+};
+
+}  // namespace pvr::iolib

@@ -1,0 +1,26 @@
+#include "machine/config.hpp"
+
+namespace pvr::machine {
+
+bool valid(const MachineConfig& cfg) {
+  return cfg.cores_per_node > 0 && cfg.core_hz > 0 &&
+         cfg.node_memory_bytes > 0 && cfg.torus_link_bw > 0 &&
+         cfg.torus_max_latency >= 0 && cfg.tree_link_bw > 0 &&
+         cfg.tree_latency >= 0 && cfg.nodes_per_ion > 0 &&
+         cfg.msg_overhead >= 0 && cfg.half_bw_msg_bytes >= 0 &&
+         cfg.hotspot_factor >= 1.0 && cfg.hotspot_indegree > 0 &&
+         cfg.congestion_kappa > 0 && cfg.congestion_gamma >= 0 &&
+         cfg.congestion_max >= 1.0 && cfg.small_msg_pressure_bytes > 0 &&
+         cfg.sync_skew_base >= 0 && cfg.sync_skew_per_log2 >= 0 &&
+         cfg.samples_per_second > 0 && cfg.blends_per_second > 0 &&
+         cfg.render_imbalance >= 0;
+}
+
+bool valid(const StorageConfig& cfg) {
+  return cfg.num_servers > 0 && cfg.stripe_bytes > 0 && cfg.server_bw > 0 &&
+         cfg.server_access_latency >= 0 && cfg.ion_bw > 0 &&
+         cfg.cap_base > 0 && cfg.cap_ion_exponent >= 0 &&
+         cfg.client_startup >= 0 && cfg.client_request_overhead >= 0;
+}
+
+}  // namespace pvr::machine

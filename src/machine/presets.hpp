@@ -1,0 +1,65 @@
+// Machine presets. The default-constructed configs are the paper's IBM Blue
+// Gene/P with its PVFS storage; the paper's future work ("we are conducting
+// similar experiments on Lustre" / "other supercomputer systems such as the
+// Cray XT") motivates the additional presets, modeled from the public
+// specifications of those systems in the 2008-2009 time frame.
+#pragma once
+
+#include "machine/config.hpp"
+
+namespace pvr::machine::presets {
+
+/// The paper's machine: ALCF Blue Gene/P (§III-A).
+inline MachineConfig bluegene_p() { return MachineConfig{}; }
+
+/// The paper's storage: PVFS over 17 SANs / 136 file servers.
+inline StorageConfig bgp_pvfs() { return StorageConfig{}; }
+
+/// A Cray XT4-class system (e.g. ORNL Jaguar, 2008): quad-core 2.1 GHz
+/// Opterons, SeaStar2 3D torus with much higher per-link bandwidth and
+/// per-message cost than BG/P, no separate collective network (the tree
+/// parameters approximate optimized software collectives over the torus),
+/// and no I/O forwarding nodes (every node mounts Lustre; the ION ratio is
+/// kept as a routing abstraction with a much larger bridge).
+inline MachineConfig cray_xt4() {
+  MachineConfig m;
+  m.cores_per_node = 4;
+  m.core_hz = 2.1e9;
+  m.node_memory_bytes = 8.0e9;
+  m.torus_link_bw = gibps(3.8);    // SeaStar2 sustained per link
+  m.torus_max_latency = usec(6);
+  m.tree_link_bw = gibps(1.9);     // software collectives
+  m.tree_latency = usec(8);
+  m.nodes_per_ion = 64;            // service-node granularity
+  m.msg_overhead = usec(8);        // Portals has lower per-message cost
+  m.half_bw_msg_bytes = 1024;
+  m.hotspot_factor = 2.0;
+  m.congestion_kappa = 60.0;       // larger FIFOs, later collapse
+  m.congestion_gamma = 2.4;
+  m.sync_skew_base = msec(60);
+  m.sync_skew_per_log2 = msec(4);
+  // Faster cores render proportionally faster.
+  m.samples_per_second = 4.0e5 * (2.1e9 / 850e6);
+  m.blends_per_second = 25e6 * (2.1e9 / 850e6);
+  return m;
+}
+
+/// A Lustre file system of the same era: fewer, fatter OSTs with a larger
+/// default stripe, higher per-access latency (RPC round trip + OST seek),
+/// and a higher application fabric share.
+inline StorageConfig lustre() {
+  StorageConfig s;
+  s.num_servers = 72;              // OSTs
+  s.stripe_bytes = 1 * MiB;        // Lustre default stripe size
+  s.server_bw = 0.6e9;
+  s.server_access_latency = msec(8.0);
+  s.metadata_access_latency = usec(900);  // MDS round trip
+  s.ion_bw = 1.2e9;                // direct client mounts
+  s.cap_base = 0.9e9;
+  s.cap_ion_exponent = 0.25;
+  s.client_startup = msec(25);
+  s.client_request_overhead = usec(60);
+  return s;
+}
+
+}  // namespace pvr::machine::presets

@@ -1,0 +1,143 @@
+#include "net/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pvr::net {
+
+TorusModel::TorusModel(const machine::Partition& partition)
+    : partition_(&partition) {}
+
+std::int64_t TorusModel::route(
+    std::int64_t node_a, std::int64_t node_b,
+    const std::function<void(const LinkId&)>& visit) const {
+  const auto& part = *partition_;
+  Vec3i cur = part.coords_of_node(node_a);
+  const Vec3i dst = part.coords_of_node(node_b);
+  const Vec3i dims = part.torus_dims();
+  std::int64_t hops = 0;
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t dim = dims[d];
+    std::int64_t fwd = (dst[d] - cur[d] + dim) % dim;
+    const bool go_plus = fwd <= dim - fwd;  // prefer + on ties (deterministic)
+    std::int64_t steps = go_plus ? fwd : dim - fwd;
+    while (steps-- > 0) {
+      visit(LinkId{part.node_of_coords(cur), d, go_plus ? 0 : 1});
+      cur[d] = (cur[d] + (go_plus ? 1 : dim - 1)) % dim;
+      ++hops;
+    }
+  }
+  PVR_ASSERT(cur == dst);
+  return hops;
+}
+
+double TorusModel::message_efficiency(double message_bytes) const {
+  const double s_half = partition_->config().half_bw_msg_bytes;
+  if (message_bytes <= 0.0) return 1.0;
+  return message_bytes / (message_bytes + s_half);
+}
+
+double TorusModel::peak_aggregate_bandwidth(double message_bytes) const {
+  const auto& cfg = partition_->config();
+  return double(partition_->num_nodes()) * cfg.torus_link_bw *
+         message_efficiency(message_bytes);
+}
+
+ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
+                                  int rounds) const {
+  const auto& part = *partition_;
+  const auto& cfg = part.config();
+  const std::int64_t nodes = part.num_nodes();
+  PVR_ASSERT(rounds >= 1);
+
+  ExchangeCost cost;
+  if (transfers.empty()) return cost;
+
+  std::vector<double> link_bytes(static_cast<std::size_t>(num_links()), 0.0);
+  std::vector<std::int64_t> link_msgs(static_cast<std::size_t>(num_links()),
+                                      0);
+  struct NodeLoad {
+    std::int64_t send_msgs = 0, recv_msgs = 0;
+    double send_bytes = 0.0, recv_bytes = 0.0;
+    double local_bytes = 0.0;
+  };
+  std::vector<NodeLoad> node_load(static_cast<std::size_t>(nodes));
+
+  double pressure_events = 0.0;  // smallness-weighted message events
+  for (const Transfer& t : transfers) {
+    PVR_ASSERT(t.bytes >= 0);
+    const std::int64_t src = part.node_of_rank(t.src_rank);
+    const std::int64_t dst = part.node_of_rank(t.dst_rank);
+    ++cost.messages;
+    cost.total_bytes += t.bytes;
+    pressure_events += 2.0 * cfg.small_msg_pressure_bytes /
+                       (cfg.small_msg_pressure_bytes + double(t.bytes));
+    if (src == dst) {
+      ++cost.local_messages;
+      node_load[static_cast<std::size_t>(src)].local_bytes += double(t.bytes);
+      continue;
+    }
+    auto& sl = node_load[static_cast<std::size_t>(src)];
+    auto& dl = node_load[static_cast<std::size_t>(dst)];
+    ++sl.send_msgs;
+    sl.send_bytes += double(t.bytes);
+    ++dl.recv_msgs;
+    dl.recv_bytes += double(t.bytes);
+    const std::int64_t hops = route(src, dst, [&](const LinkId& link) {
+      const auto li = static_cast<std::size_t>(link_index(link));
+      link_bytes[li] += double(t.bytes);
+      ++link_msgs[li];
+    });
+    cost.max_hops = std::max(cost.max_hops, hops);
+  }
+
+  // Congestion collapse factor from the global message pressure: the
+  // smallness-weighted message events per node, per pipelined round.
+  const double pressure =
+      pressure_events / double(nodes) / double(rounds);
+  cost.congestion_factor =
+      1.0 + std::min(cfg.congestion_max,
+                     std::pow(pressure / cfg.congestion_kappa,
+                              cfg.congestion_gamma));
+
+  // Worst per-link serialization, derated by small-message efficiency.
+  double worst_link = 0.0;
+  for (std::size_t i = 0; i < link_bytes.size(); ++i) {
+    if (link_msgs[i] == 0) continue;
+    const double avg_msg = link_bytes[i] / double(link_msgs[i]);
+    const double bw = cfg.torus_link_bw * message_efficiency(avg_msg);
+    worst_link = std::max(worst_link, link_bytes[i] / bw);
+  }
+  cost.link_seconds = worst_link;
+
+  // Worst per-node endpoint time: per-message software overhead (scaled by
+  // congestion and, on hot receivers, the hot-spot penalty) plus injection /
+  // extraction serialization at link bandwidth. Local (intra-node) copies
+  // are charged at memory-copy speed approximated by 4x link bandwidth.
+  double worst_endpoint = 0.0;
+  const double local_copy_bw = 4.0 * cfg.torus_link_bw;
+  for (const NodeLoad& nl : node_load) {
+    const bool hot = double(nl.recv_msgs) > cfg.hotspot_indegree;
+    const double hot_factor = hot ? cfg.hotspot_factor : 1.0;
+    const double msg_cost = cfg.msg_overhead * cost.congestion_factor *
+                            (double(nl.send_msgs) +
+                             double(nl.recv_msgs) * hot_factor);
+    const double wire = (nl.send_bytes + nl.recv_bytes) / cfg.torus_link_bw +
+                        nl.local_bytes / local_copy_bw;
+    worst_endpoint = std::max(worst_endpoint, msg_cost + wire);
+  }
+  cost.endpoint_seconds = worst_endpoint;
+
+  cost.latency_seconds = cfg.torus_max_latency;
+  cost.skew_seconds =
+      cfg.sync_skew_base +
+      cfg.sync_skew_per_log2 * std::log2(std::max<double>(2.0, double(nodes)));
+
+  cost.seconds = std::max(cost.link_seconds, cost.endpoint_seconds) +
+                 cost.latency_seconds + cost.skew_seconds;
+  return cost;
+}
+
+}  // namespace pvr::net

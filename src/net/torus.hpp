@@ -1,0 +1,70 @@
+// 3D-torus interconnect model.
+//
+// Routing is dimension-ordered (x, then y, then z) taking the shorter
+// wraparound direction in each dimension, matching the BG/P torus. The
+// exchange model is bulk-synchronous: given all messages of a communication
+// round it computes
+//
+//   round time = max(worst link serialization, worst endpoint time)
+//                + route latency + synchronization skew
+//
+// where endpoint time includes a per-message software overhead scaled by a
+// congestion-collapse factor (a function of the average number of in-flight
+// messages per node) and a receive-side hot-spot penalty for high in-degree
+// nodes. DESIGN.md §4 documents the calibration of these constants against
+// the BG/P microbenchmark literature cited by the paper.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "machine/partition.hpp"
+#include "net/transfer.hpp"
+
+namespace pvr::net {
+
+/// Directed torus link identifier: 6 links per node (3 dims x 2 directions).
+struct LinkId {
+  std::int64_t node;  ///< source node of the directed link
+  int dim;            ///< 0=x, 1=y, 2=z
+  int dir;            ///< 0 = +, 1 = -
+};
+
+class TorusModel {
+ public:
+  explicit TorusModel(const machine::Partition& partition);
+
+  /// Calls `visit` for every directed link on the dimension-ordered route
+  /// from node a to node b. Returns hop count.
+  std::int64_t route(std::int64_t node_a, std::int64_t node_b,
+                     const std::function<void(const LinkId&)>& visit) const;
+
+  /// Flat index of a directed link; links are numbered node*6 + dim*2 + dir.
+  std::int64_t link_index(const LinkId& link) const {
+    return link.node * 6 + link.dim * 2 + link.dir;
+  }
+  std::int64_t num_links() const { return partition_->num_nodes() * 6; }
+
+  /// Models one bulk-synchronous exchange of point-to-point messages.
+  /// `rounds` > 1 means the messages are issued in that many pipelined
+  /// rounds (as two-phase I/O does), which divides the instantaneous
+  /// congestion pressure without changing total per-message or wire costs.
+  ExchangeCost exchange(std::span<const Transfer> transfers,
+                        int rounds = 1) const;
+
+  /// Theoretical aggregate peak bandwidth (bytes/s) for a round of messages
+  /// of the given size: every node injecting at link speed, derated only by
+  /// the small-message efficiency curve. This is the "peak" line of Fig 4.
+  double peak_aggregate_bandwidth(double message_bytes) const;
+
+  /// Small-message link efficiency in (0, 1]: s / (s + s_half).
+  double message_efficiency(double message_bytes) const;
+
+  const machine::Partition& partition() const { return *partition_; }
+
+ private:
+  const machine::Partition* partition_;
+};
+
+}  // namespace pvr::net

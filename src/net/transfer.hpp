@@ -1,0 +1,39 @@
+// Network transfer descriptors and the cost breakdown returned by the torus
+// exchange model. A Transfer describes one point-to-point message by rank;
+// the model maps ranks to nodes, routes over torus links, and accounts
+// contention.
+#pragma once
+
+#include <cstdint>
+
+namespace pvr::net {
+
+/// One point-to-point message in a communication round.
+struct Transfer {
+  std::int64_t src_rank = 0;
+  std::int64_t dst_rank = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Cost breakdown of one bulk-synchronous communication round.
+struct ExchangeCost {
+  double seconds = 0.0;           ///< modeled wall time of the round
+  std::int64_t messages = 0;      ///< total point-to-point messages
+  std::int64_t local_messages = 0;  ///< messages within one node (memcpy)
+  std::int64_t total_bytes = 0;   ///< payload bytes moved
+  std::int64_t max_hops = 0;      ///< longest route used
+  double congestion_factor = 1.0; ///< applied per-message overhead multiplier
+
+  // component terms (seconds); `seconds` = max(link, endpoint) + latency + skew
+  double link_seconds = 0.0;      ///< worst per-link serialization
+  double endpoint_seconds = 0.0;  ///< worst per-node injection/extraction
+  double latency_seconds = 0.0;
+  double skew_seconds = 0.0;
+
+  /// Aggregate payload bandwidth of the round, bytes/second.
+  double bandwidth() const {
+    return seconds > 0.0 ? double(total_bytes) / seconds : 0.0;
+  }
+};
+
+}  // namespace pvr::net

@@ -1,0 +1,44 @@
+// BG/P collective (tree) network model. Collectives traverse a binary
+// combining tree over the nodes of the partition: cost is
+// depth * per-hop latency + payload serialization at tree-link bandwidth,
+// with reduction compute folded into an effective bandwidth derate.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/partition.hpp"
+
+namespace pvr::net {
+
+class TreeModel {
+ public:
+  explicit TreeModel(const machine::Partition& partition);
+
+  /// Tree depth over the partition's nodes: ceil(log2(nodes)), min 1.
+  int depth() const { return depth_; }
+
+  /// Barrier across all ranks.
+  double barrier() const;
+
+  /// Broadcast of `bytes` from one rank to all ranks.
+  double broadcast(std::int64_t bytes) const;
+
+  /// Reduce of `bytes` per rank to a single root (combining tree).
+  double reduce(std::int64_t bytes) const;
+
+  /// Allreduce of `bytes` per rank (reduce + broadcast pipelined).
+  double allreduce(std::int64_t bytes) const;
+
+  /// Gather of `bytes_per_rank` from every rank to the root; the root link
+  /// serializes the full payload.
+  double gather(std::int64_t bytes_per_rank) const;
+
+  /// Scatter of `bytes_per_rank` from the root to every rank.
+  double scatter(std::int64_t bytes_per_rank) const;
+
+ private:
+  const machine::Partition* partition_;
+  int depth_;
+};
+
+}  // namespace pvr::net

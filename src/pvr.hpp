@@ -1,0 +1,58 @@
+// Umbrella header: the complete public API of the pvr library.
+//
+//   pvr::core      — end-to-end parallel volume rendering pipeline
+//   pvr::render    — decomposition, camera, transfer functions, ray caster
+//   pvr::compose   — direct-send (original/improved) and binary-swap
+//   pvr::iolib     — two-phase collective I/O, hints, independent reads
+//   pvr::format    — raw, netCDF classic (CDF-1/2/5), SHDF layouts & codecs
+//   pvr::data      — synthetic supernova data, writers, upsampling
+//   pvr::storage   — parallel file system model, access logs
+//   pvr::runtime   — superstep rank runtime (execute & model modes)
+//   pvr::net       — torus and tree network models
+//   pvr::machine   — Blue Gene/P machine description and partitions
+#pragma once
+
+#include "compose/binary_swap.hpp"
+#include "compose/direct_send.hpp"
+#include "compose/image_partition.hpp"
+#include "compose/policy.hpp"
+#include "compose/radix_k.hpp"
+#include "compose/schedule.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "data/upsample.hpp"
+#include "data/writers.hpp"
+#include "format/dataset.hpp"
+#include "format/extent.hpp"
+#include "format/file_io.hpp"
+#include "format/layout.hpp"
+#include "format/netcdf.hpp"
+#include "format/shdf.hpp"
+#include "iolib/collective_read.hpp"
+#include "iolib/collective_write.hpp"
+#include "iolib/hints.hpp"
+#include "iolib/independent_read.hpp"
+#include "machine/config.hpp"
+#include "machine/partition.hpp"
+#include "net/torus.hpp"
+#include "net/transfer.hpp"
+#include "net/tree.hpp"
+#include "render/camera.hpp"
+#include "render/decomposition.hpp"
+#include "render/raycaster.hpp"
+#include "render/render_model.hpp"
+#include "render/transfer_function.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "storage/access_log.hpp"
+#include "storage/storage_model.hpp"
+#include "util/brick.hpp"
+#include "util/color.hpp"
+#include "util/image.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "util/vec.hpp"

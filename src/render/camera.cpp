@@ -1,0 +1,138 @@
+#include "render/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pvr::render {
+
+std::optional<RayBoxHit> intersect(const Ray& ray, const Box3d& box) {
+  double t0 = 0.0;
+  double t1 = std::numeric_limits<double>::infinity();
+  for (int a = 0; a < 3; ++a) {
+    const double o = ray.origin[a];
+    const double d = ray.dir[a];
+    if (std::fabs(d) < 1e-300) {
+      if (o < box.lo[a] || o >= box.hi[a]) return std::nullopt;
+      continue;
+    }
+    double ta = (box.lo[a] - o) / d;
+    double tb = (box.hi[a] - o) / d;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return std::nullopt;
+  }
+  return RayBoxHit{t0, t1};
+}
+
+Camera Camera::look_at(const Vec3d& eye, const Vec3d& target, const Vec3d& up,
+                       double fov_y_deg, int width, int height) {
+  PVR_REQUIRE(width > 0 && height > 0, "image size must be positive");
+  PVR_REQUIRE(fov_y_deg > 0 && fov_y_deg < 180, "fov out of range");
+  Camera c;
+  c.eye_ = eye;
+  c.forward_ = (target - eye).normalized();
+  PVR_REQUIRE(c.forward_.length() > 0.5, "eye and target coincide");
+  c.right_ = c.forward_.cross(up).normalized();
+  PVR_REQUIRE(c.right_.length() > 0.5, "up is parallel to view direction");
+  c.up_ = c.right_.cross(c.forward_);
+  c.tan_half_fov_ = std::tan(fov_y_deg * (3.14159265358979323846 / 360.0));
+  c.width_ = width;
+  c.height_ = height;
+  c.orthographic_ = false;
+  return c;
+}
+
+Camera Camera::ortho_look_at(const Vec3d& eye, const Vec3d& target,
+                             const Vec3d& up, double view_height, int width,
+                             int height) {
+  PVR_REQUIRE(view_height > 0, "view height must be positive");
+  Camera c = look_at(eye, target, up, 90.0, width, height);
+  c.orthographic_ = true;
+  c.view_height_ = view_height;
+  return c;
+}
+
+Camera Camera::default_view(const Vec3i& dims, int width, int height) {
+  const Box3d wb = world_box(dims);
+  const Vec3d center = {wb.center().x, wb.center().y, wb.center().z};
+  const Vec3d eye = center + Vec3d{1.4, 0.9, 1.7};
+  return look_at(eye, center, {0.0, 1.0, 0.0}, 40.0, width, height);
+}
+
+Ray Camera::ray(int px, int py) const {
+  PVR_ASSERT(px >= 0 && px < width_ && py >= 0 && py < height_);
+  const double aspect = double(width_) / double(height_);
+  const double u = ((px + 0.5) / double(width_)) * 2.0 - 1.0;
+  const double v = 1.0 - ((py + 0.5) / double(height_)) * 2.0;
+  if (orthographic_) {
+    const double half_h = view_height_ * 0.5;
+    const Vec3d origin = eye_ + right_ * (u * half_h * aspect) +
+                         up_ * (v * half_h);
+    return Ray{origin, forward_};
+  }
+  const Vec3d dir = (forward_ + right_ * (u * tan_half_fov_ * aspect) +
+                     up_ * (v * tan_half_fov_))
+                        .normalized();
+  return Ray{eye_, dir};
+}
+
+std::optional<Vec3d> Camera::project(const Vec3d& world) const {
+  const Vec3d rel = world - eye_;
+  const double depth = rel.dot(forward_);
+  const double aspect = double(width_) / double(height_);
+  double u, v;
+  if (orthographic_) {
+    const double half_h = view_height_ * 0.5;
+    u = rel.dot(right_) / (half_h * aspect);
+    v = rel.dot(up_) / half_h;
+  } else {
+    if (depth <= 1e-12) return std::nullopt;
+    u = rel.dot(right_) / (depth * tan_half_fov_ * aspect);
+    v = rel.dot(up_) / (depth * tan_half_fov_);
+  }
+  const double px = (u + 1.0) * 0.5 * width_ - 0.5;
+  const double py = (1.0 - v) * 0.5 * height_ - 0.5;
+  return Vec3d{px, py, depth};
+}
+
+Rect Camera::footprint(const Box3d& box) const {
+  double x0 = 1e300, y0 = 1e300, x1 = -1e300, y1 = -1e300;
+  for (int corner = 0; corner < 8; ++corner) {
+    const Vec3d p{(corner & 1) ? box.hi.x : box.lo.x,
+                  (corner & 2) ? box.hi.y : box.lo.y,
+                  (corner & 4) ? box.hi.z : box.lo.z};
+    const auto proj = project(p);
+    if (!proj) return Rect{0, 0, width_, height_};  // conservative
+    x0 = std::min(x0, proj->x);
+    y0 = std::min(y0, proj->y);
+    x1 = std::max(x1, proj->x);
+    y1 = std::max(y1, proj->y);
+  }
+  Rect r{int(std::floor(x0)), int(std::floor(y0)), int(std::ceil(x1)) + 1,
+         int(std::ceil(y1)) + 1};
+  return r.intersect(Rect{0, 0, width_, height_});
+}
+
+Box3d world_box(const Vec3i& dims) {
+  const double m = double(dims.max_component());
+  return Box3d{{0, 0, 0},
+               {double(dims.x) / m, double(dims.y) / m, double(dims.z) / m}};
+}
+
+Box3d world_box_of(const Box3i& voxels, const Vec3i& dims) {
+  const double h = voxel_size(dims);
+  return Box3d{{double(voxels.lo.x) * h, double(voxels.lo.y) * h,
+                double(voxels.lo.z) * h},
+               {double(voxels.hi.x) * h, double(voxels.hi.y) * h,
+                double(voxels.hi.z) * h}};
+}
+
+double voxel_size(const Vec3i& dims) {
+  return 1.0 / double(dims.max_component());
+}
+
+}  // namespace pvr::render

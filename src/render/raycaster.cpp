@@ -1,0 +1,210 @@
+#include "render/raycaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pvr::render {
+
+Raycaster::Raycaster(const Vec3i& volume_dims, RenderConfig config)
+    : dims_(volume_dims), config_(config) {
+  PVR_REQUIRE(dims_.x > 0 && dims_.y > 0 && dims_.z > 0,
+              "volume dims must be positive");
+  PVR_REQUIRE(config_.step_voxels > 0, "step must be positive");
+  PVR_REQUIRE(config_.value_hi > config_.value_lo, "bad value range");
+  h_ = voxel_size(dims_);
+  step_world_ = config_.step_voxels * h_;
+}
+
+float Raycaster::sample_world(const Brick& brick, const Vec3d& world) const {
+  const Box3i& b = brick.box();
+  std::int64_t i0[3];
+  double frac[3];
+  for (int a = 0; a < 3; ++a) {
+    const double v = world[a] / h_ - 0.5;  // voxel-center convention
+    double fl = std::floor(v);
+    std::int64_t i = std::int64_t(fl);
+    double f = v - fl;
+    // Edge clamp: keep the 2-sample stencil inside the brick.
+    const std::int64_t lo = b.lo[a];
+    const std::int64_t hi_minus2 = b.hi[a] - 2;
+    if (i < lo) {
+      i = lo;
+      f = 0.0;
+    } else if (i > hi_minus2) {
+      i = std::max(lo, hi_minus2);
+      f = (b.hi[a] - b.lo[a]) > 1 ? 1.0 : 0.0;
+    }
+    i0[a] = i;
+    frac[a] = f;
+  }
+  const std::int64_t x1 = std::min(i0[0] + 1, b.hi.x - 1);
+  const std::int64_t y1 = std::min(i0[1] + 1, b.hi.y - 1);
+  const std::int64_t z1 = std::min(i0[2] + 1, b.hi.z - 1);
+  const float c000 = brick.at(i0[0], i0[1], i0[2]);
+  const float c100 = brick.at(x1, i0[1], i0[2]);
+  const float c010 = brick.at(i0[0], y1, i0[2]);
+  const float c110 = brick.at(x1, y1, i0[2]);
+  const float c001 = brick.at(i0[0], i0[1], z1);
+  const float c101 = brick.at(x1, i0[1], z1);
+  const float c011 = brick.at(i0[0], y1, z1);
+  const float c111 = brick.at(x1, y1, z1);
+  const float fx = float(frac[0]), fy = float(frac[1]), fz = float(frac[2]);
+  const float c00 = c000 + fx * (c100 - c000);
+  const float c10 = c010 + fx * (c110 - c010);
+  const float c01 = c001 + fx * (c101 - c001);
+  const float c11 = c011 + fx * (c111 - c011);
+  const float c0 = c00 + fy * (c10 - c00);
+  const float c1 = c01 + fy * (c11 - c01);
+  return c0 + fz * (c1 - c0);
+}
+
+Rgba Raycaster::integrate_ray(const Brick& brick, const Box3d& region_world,
+                              const Ray& ray, const TransferFunction& tf,
+                              std::int64_t* samples) const {
+  const Box3d vol = world_box(dims_);
+  const auto vol_hit = intersect(ray, vol);
+  if (!vol_hit) return kTransparent;
+  const auto reg_hit = intersect(ray, region_world);
+  if (!reg_hit) return kTransparent;
+
+  // Global lattice: t_k = t0 + k * dt with t0 the volume entry point, so
+  // every block of the same volume samples identical positions.
+  const double t0 = vol_hit->t_enter;
+  const double dt = step_world_;
+  std::int64_t k = std::max<std::int64_t>(
+      0, std::int64_t(std::floor((reg_hit->t_enter - t0) / dt)) - 1);
+  const std::int64_t k_end =
+      std::int64_t(std::ceil((reg_hit->t_exit - t0) / dt)) + 1;
+
+  const float inv_range = 1.0f / (config_.value_hi - config_.value_lo);
+  const float step = float(config_.step_voxels);
+  Rgba acc = kTransparent;
+  for (; k <= k_end; ++k) {
+    const double t = t0 + double(k) * dt;
+    if (t > vol_hit->t_exit) break;
+    const Vec3d p = ray.at(t);
+    // Half-open membership: exactly one block owns each lattice sample.
+    if (p.x < region_world.lo.x || p.x >= region_world.hi.x ||
+        p.y < region_world.lo.y || p.y >= region_world.hi.y ||
+        p.z < region_world.lo.z || p.z >= region_world.hi.z) {
+      continue;
+    }
+    const float raw = sample_world(brick, p);
+    const float v = (raw - config_.value_lo) * inv_range;
+    acc.blend_under(tf.sample(v, step));
+    ++*samples;
+    if (acc.a >= float(config_.early_termination)) break;
+  }
+  return acc;
+}
+
+namespace {
+
+/// The brick must cover `owned` plus a one-voxel ghost layer clipped to the
+/// volume.
+void require_ghost_coverage(const Brick& brick, const Box3i& owned,
+                            const Vec3i& dims) {
+  const Vec3i g{1, 1, 1};
+  const Box3i need{max(owned.lo - g, Vec3i{0, 0, 0}), min(owned.hi + g, dims)};
+  PVR_REQUIRE(brick.box().intersect(need) == need,
+              "brick does not cover owned box + ghost layer");
+}
+
+}  // namespace
+
+SubImage Raycaster::render_block(const Brick& brick, const Box3i& owned,
+                                 const Camera& camera,
+                                 const TransferFunction& tf) const {
+  PVR_REQUIRE(!owned.empty(), "owned box must not be empty");
+  require_ghost_coverage(brick, owned, dims_);
+
+  const Box3d region = world_box_of(owned, dims_);
+  SubImage out;
+  out.rect = camera.footprint(region);
+  out.depth = camera.depth_of(
+      {region.center().x, region.center().y, region.center().z});
+  out.pixels.assign(std::size_t(out.rect.pixel_count()), kTransparent);
+  std::size_t i = 0;
+  for (int py = out.rect.y0; py < out.rect.y1; ++py) {
+    for (int px = out.rect.x0; px < out.rect.x1; ++px) {
+      out.pixels[i++] =
+          integrate_ray(brick, region, camera.ray(px, py), tf, &out.samples);
+    }
+  }
+  return out;
+}
+
+SubImage Raycaster::render_block_bivariate(
+    const Brick& color_brick, const Brick& opacity_brick, const Box3i& owned,
+    const Camera& camera, const BivariateTransferFunction& tf) const {
+  PVR_REQUIRE(!owned.empty(), "owned box must not be empty");
+  require_ghost_coverage(color_brick, owned, dims_);
+  require_ghost_coverage(opacity_brick, owned, dims_);
+
+  const Box3d vol = world_box(dims_);
+  const Box3d region = world_box_of(owned, dims_);
+  SubImage out;
+  out.rect = camera.footprint(region);
+  out.depth = camera.depth_of(
+      {region.center().x, region.center().y, region.center().z});
+  out.pixels.assign(std::size_t(out.rect.pixel_count()), kTransparent);
+
+  const float inv_range = 1.0f / (config_.value_hi - config_.value_lo);
+  const float step = float(config_.step_voxels);
+  const double dt = step_world_;
+  std::size_t i = 0;
+  for (int py = out.rect.y0; py < out.rect.y1; ++py) {
+    for (int px = out.rect.x0; px < out.rect.x1; ++px, ++i) {
+      const Ray ray = camera.ray(px, py);
+      const auto vol_hit = intersect(ray, vol);
+      if (!vol_hit) continue;
+      const auto reg_hit = intersect(ray, region);
+      if (!reg_hit) continue;
+      const double t0 = vol_hit->t_enter;
+      std::int64_t k = std::max<std::int64_t>(
+          0, std::int64_t(std::floor((reg_hit->t_enter - t0) / dt)) - 1);
+      const std::int64_t k_end =
+          std::int64_t(std::ceil((reg_hit->t_exit - t0) / dt)) + 1;
+      Rgba acc = kTransparent;
+      for (; k <= k_end; ++k) {
+        const double t = t0 + double(k) * dt;
+        if (t > vol_hit->t_exit) break;
+        const Vec3d p = ray.at(t);
+        if (p.x < region.lo.x || p.x >= region.hi.x || p.y < region.lo.y ||
+            p.y >= region.hi.y || p.z < region.lo.z || p.z >= region.hi.z) {
+          continue;
+        }
+        const float cv = (sample_world(color_brick, p) - config_.value_lo) *
+                         inv_range;
+        const float ov = (sample_world(opacity_brick, p) -
+                          config_.value_lo) *
+                         inv_range;
+        acc.blend_under(tf.sample(cv, ov, step));
+        ++out.samples;
+        if (acc.a >= float(config_.early_termination)) break;
+      }
+      out.pixels[i] = acc;
+    }
+  }
+  return out;
+}
+
+Image Raycaster::render_full(const Brick& brick, const Camera& camera,
+                             const TransferFunction& tf) const {
+  const Box3i whole{{0, 0, 0}, dims_};
+  PVR_REQUIRE(brick.box() == whole, "full render needs the whole volume");
+  const Box3d region = world_box(dims_);
+  Image img(camera.width(), camera.height());
+  std::int64_t samples = 0;
+  for (int py = 0; py < camera.height(); ++py) {
+    for (int px = 0; px < camera.width(); ++px) {
+      img.at(px, py) =
+          integrate_ray(brick, region, camera.ray(px, py), tf, &samples);
+    }
+  }
+  return img;
+}
+
+}  // namespace pvr::render

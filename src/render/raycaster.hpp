@@ -1,0 +1,84 @@
+// Front-to-back ray-casting volume renderer (paper §III-B.2). Each rank
+// renders only its own block; samples lie on a *global* ray lattice
+// (t = t_enter(volume) + k * dt), and a sample belongs to exactly the block
+// whose half-open voxel box contains its position — so compositing the
+// per-block subimages in visibility order reproduces the serial rendering
+// bit-for-bit up to floating-point blending order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "render/camera.hpp"
+#include "render/transfer_function.hpp"
+#include "util/brick.hpp"
+#include "util/color.hpp"
+#include "util/image.hpp"
+
+namespace pvr::render {
+
+struct RenderConfig {
+  /// Sampling step in voxel units along the ray.
+  double step_voxels = 1.0;
+  /// Terminate a ray once accumulated alpha reaches this value; >= 1
+  /// disables early termination (required when comparing parallel and
+  /// serial renderings exactly, since a block cannot see upstream opacity).
+  double early_termination = 1.0;
+  /// Values mapped to [0,1] for the transfer function: (v - lo) / (hi - lo).
+  float value_lo = 0.0f;
+  float value_hi = 1.0f;
+};
+
+/// A rendered block subimage: packed pixels over a screen rectangle plus the
+/// block's visibility depth.
+struct SubImage {
+  Rect rect;                 ///< screen footprint (possibly empty)
+  std::vector<Rgba> pixels;  ///< rect.pixel_count() premultiplied pixels
+  double depth = 0.0;        ///< view depth of the block center
+  std::int64_t samples = 0;  ///< ray samples taken (render cost metric)
+};
+
+class Raycaster {
+ public:
+  /// `volume_dims` defines the world box and the global sample lattice.
+  Raycaster(const Vec3i& volume_dims, RenderConfig config);
+
+  const RenderConfig& config() const { return config_; }
+  double step_world() const { return step_world_; }
+
+  /// Renders the given owned region (`owned` voxel box, half-open) from
+  /// `brick`, which must cover owned plus a one-voxel ghost layer (clipped
+  /// to the volume). Only pixels inside the block's screen footprint are
+  /// produced.
+  SubImage render_block(const Brick& brick, const Box3i& owned,
+                        const Camera& camera,
+                        const TransferFunction& tf) const;
+
+  /// Bivariate variant: color sampled from `color_brick`, opacity from
+  /// `opacity_brick` (both must cover owned + ghost).
+  SubImage render_block_bivariate(const Brick& color_brick,
+                                  const Brick& opacity_brick,
+                                  const Box3i& owned, const Camera& camera,
+                                  const BivariateTransferFunction& tf) const;
+
+  /// Serial reference: renders the whole volume from a single brick
+  /// covering it, into a full image.
+  Image render_full(const Brick& brick, const Camera& camera,
+                    const TransferFunction& tf) const;
+
+  /// Trilinear sample of the brick at a world position (voxel-center
+  /// convention, edge-clamped at volume borders).
+  float sample_world(const Brick& brick, const Vec3d& world) const;
+
+ private:
+  Rgba integrate_ray(const Brick& brick, const Box3d& region_world,
+                     const Ray& ray, const TransferFunction& tf,
+                     std::int64_t* samples) const;
+
+  Vec3i dims_;
+  RenderConfig config_;
+  double step_world_ = 0.0;
+  double h_ = 0.0;  ///< voxel size in world units
+};
+
+}  // namespace pvr::render

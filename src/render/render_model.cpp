@@ -1,0 +1,61 @@
+#include "render/render_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pvr::render {
+
+std::int64_t RenderModel::block_samples(const Box3d& block_world,
+                                        const Camera& camera,
+                                        double step_world) const {
+  PVR_REQUIRE(step_world > 0, "step must be positive");
+  if (block_world.empty()) return 0;
+  // Pixel footprint edge in world units at the block's depth.
+  const Vec3d center{block_world.center().x, block_world.center().y,
+                     block_world.center().z};
+  const double depth = std::max(1e-6, camera.depth_of(center));
+  const auto c0 = camera.project(center);
+  if (!c0) return 0;
+  // Derive the pixel footprint by projecting a point one world unit along
+  // the camera's right axis would be exact but awkward; instead use the
+  // camera intrinsics directly via two nearby projections.
+  const Ray r0 = camera.ray(camera.width() / 2, camera.height() / 2);
+  const Ray r1 = camera.ray(camera.width() / 2 + 1, camera.height() / 2);
+  double pixel_edge;
+  if (camera.orthographic()) {
+    pixel_edge = (r1.origin - r0.origin).length();
+  } else {
+    pixel_edge = (r1.dir - r0.dir).length() * depth;
+  }
+  const double pixel_area = pixel_edge * pixel_edge;
+  const double volume = double(block_world.volume());
+  const double samples = volume / (step_world * pixel_area);
+  return std::int64_t(std::llround(samples));
+}
+
+RenderEstimate RenderModel::estimate(const Decomposition& decomp,
+                                     std::int64_t num_ranks,
+                                     const Camera& camera,
+                                     const RenderConfig& config) const {
+  PVR_REQUIRE(num_ranks > 0, "need at least one rank");
+  const double step_world =
+      config.step_voxels * voxel_size(decomp.dims());
+  std::vector<std::int64_t> rank_samples(std::size_t(num_ranks), 0);
+  RenderEstimate est;
+  for (std::int64_t b = 0; b < decomp.num_blocks(); ++b) {
+    const Box3d wb = world_box_of(decomp.block_box(b), decomp.dims());
+    const std::int64_t s = block_samples(wb, camera, step_world);
+    est.total_samples += s;
+    rank_samples[std::size_t(
+        Decomposition::rank_of_block(b, num_ranks))] += s;
+  }
+  est.max_rank_samples =
+      *std::max_element(rank_samples.begin(), rank_samples.end());
+  est.seconds = seconds_for_samples(est.max_rank_samples) *
+                (1.0 + cfg_->render_imbalance);
+  return est;
+}
+
+}  // namespace pvr::render

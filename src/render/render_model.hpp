@@ -1,0 +1,56 @@
+// Analytic render-cost model used at paper scale, where actually casting
+// rays through 4480^3 volumes is impossible. The sample count of a block is
+// estimated geometrically: every lattice sample inside the block's world box
+// is hit by exactly one ray, so
+//
+//   samples(block) ~= world_volume(block) / (step * pixel_footprint_area)
+//
+// with the pixel footprint evaluated at the block's view depth (exact for
+// orthographic cameras, first-order for perspective). The rank's render time
+// is its sample count divided by the machine's calibrated per-core sample
+// rate; the BSP render phase costs the straggler's time, inflated by the
+// configured load imbalance (paper: "minor deviations ... due to load
+// imbalances").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "render/camera.hpp"
+#include "render/decomposition.hpp"
+#include "render/raycaster.hpp"
+
+namespace pvr::render {
+
+struct RenderEstimate {
+  std::int64_t total_samples = 0;
+  std::int64_t max_rank_samples = 0;
+  double seconds = 0.0;  ///< modeled BSP render-phase time
+};
+
+class RenderModel {
+ public:
+  explicit RenderModel(const machine::MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Samples a single block contributes for the given camera and step.
+  std::int64_t block_samples(const Box3d& block_world, const Camera& camera,
+                             double step_world) const;
+
+  /// Estimates the render phase over a whole decomposition with blocks
+  /// assigned round-robin to `num_ranks` ranks.
+  RenderEstimate estimate(const Decomposition& decomp,
+                          std::int64_t num_ranks, const Camera& camera,
+                          const RenderConfig& config) const;
+
+  /// Converts a per-rank sample count to seconds (without imbalance).
+  double seconds_for_samples(std::int64_t samples) const {
+    return double(samples) / cfg_->samples_per_second;
+  }
+
+ private:
+  const machine::MachineConfig* cfg_;
+};
+
+}  // namespace pvr::render

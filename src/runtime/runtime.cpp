@@ -1,0 +1,101 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pvr::runtime {
+
+void Sender::send(std::int64_t dst_rank, std::int32_t tag,
+                  std::int64_t bytes) {
+  PVR_REQUIRE(dst_rank >= 0 && dst_rank < num_ranks_,
+              "send destination out of range");
+  PVR_REQUIRE(bytes >= 0, "message size must be >= 0");
+  sink_->push_back(Message{src_, dst_rank, tag, bytes, {}});
+}
+
+void Sender::send(std::int64_t dst_rank, std::int32_t tag, Payload payload) {
+  PVR_REQUIRE(dst_rank >= 0 && dst_rank < num_ranks_,
+              "send destination out of range");
+  const auto bytes = static_cast<std::int64_t>(payload.size());
+  sink_->push_back(Message{src_, dst_rank, tag, bytes, std::move(payload)});
+}
+
+Runtime::Runtime(const machine::Partition& partition, Mode mode)
+    : partition_(&partition), mode_(mode), torus_(partition),
+      tree_(partition) {}
+
+net::ExchangeCost Runtime::exchange(const ProduceFn& produce,
+                                    const ConsumeFn& consume) {
+  std::vector<Message> messages;
+  for (std::int64_t r = 0; r < num_ranks(); ++r) {
+    Sender sender(r, num_ranks(), &messages);
+    produce(r, sender);
+  }
+  return exchange_messages(std::move(messages), consume);
+}
+
+net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
+                                             const ConsumeFn& consume,
+                                             int rounds) {
+  std::vector<net::Transfer> transfers;
+  transfers.reserve(messages.size());
+  for (const Message& m : messages) {
+    transfers.push_back(net::Transfer{m.src_rank, m.dst_rank, m.bytes});
+  }
+  const net::ExchangeCost cost = torus_.exchange(transfers, rounds);
+  ledger_.exchange += cost.seconds;
+
+  if (consume != nullptr) {
+    std::stable_sort(messages.begin(), messages.end(), MessageOrder{});
+    std::size_t i = 0;
+    while (i < messages.size()) {
+      std::size_t j = i;
+      while (j < messages.size() &&
+             messages[j].dst_rank == messages[i].dst_rank) {
+        ++j;
+      }
+      consume(messages[i].dst_rank,
+              std::span<const Message>(&messages[i], j - i));
+      i = j;
+    }
+  }
+  return cost;
+}
+
+double Runtime::compute(const std::function<double(std::int64_t)>& body) {
+  double worst = 0.0;
+  for (std::int64_t r = 0; r < num_ranks(); ++r) {
+    const double t = body(r);
+    PVR_ASSERT(t >= 0.0);
+    worst = std::max(worst, t);
+  }
+  ledger_.compute += worst;
+  return worst;
+}
+
+double Runtime::barrier() {
+  const double t = tree_.barrier();
+  ledger_.collective += t;
+  return t;
+}
+
+double Runtime::allreduce(std::int64_t bytes) {
+  const double t = tree_.allreduce(bytes);
+  ledger_.collective += t;
+  return t;
+}
+
+double Runtime::broadcast(std::int64_t bytes) {
+  const double t = tree_.broadcast(bytes);
+  ledger_.collective += t;
+  return t;
+}
+
+double Runtime::gather(std::int64_t bytes_per_rank) {
+  const double t = tree_.gather(bytes_per_rank);
+  ledger_.collective += t;
+  return t;
+}
+
+}  // namespace pvr::runtime

@@ -1,0 +1,113 @@
+// Superstep (bulk-synchronous) rank runtime.
+//
+// Parallel algorithms in this library are phase-structured: every rank
+// computes, then all ranks exchange messages, then every rank consumes its
+// inbox. The runtime executes the per-rank code sequentially (deterministic,
+// single process) while charging simulated time:
+//
+//   * compute phases cost the *maximum* of the per-rank durations (BSP),
+//   * exchanges are priced by the torus contention model,
+//   * collectives by the tree network model.
+//
+// Two modes share all code paths: kExecute moves real payload bytes between
+// ranks (used by tests/examples at small scale to validate algorithm output);
+// kModel moves only byte counts (used by the benchmark harness at full
+// Blue Gene/P scale).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "machine/partition.hpp"
+#include "net/torus.hpp"
+#include "net/transfer.hpp"
+#include "net/tree.hpp"
+#include "runtime/message.hpp"
+
+namespace pvr::runtime {
+
+enum class Mode {
+  kExecute,  ///< real payload movement + modeled time
+  kModel,    ///< modeled time only; payloads are sized, not materialized
+};
+
+/// Per-rank send interface handed to the produce callback of an exchange.
+class Sender {
+ public:
+  /// Sends a sized message without payload (valid in both modes; in execute
+  /// mode only for algorithms that don't need the bytes delivered).
+  void send(std::int64_t dst_rank, std::int32_t tag, std::int64_t bytes);
+  /// Sends a message with payload (execute mode).
+  void send(std::int64_t dst_rank, std::int32_t tag, Payload payload);
+
+ private:
+  friend class Runtime;
+  Sender(std::int64_t src, std::int64_t num_ranks,
+         std::vector<Message>* sink)
+      : src_(src), num_ranks_(num_ranks), sink_(sink) {}
+  std::int64_t src_;
+  std::int64_t num_ranks_;
+  std::vector<Message>* sink_;
+};
+
+/// Accumulated simulated time, split by category.
+struct TimeLedger {
+  double compute = 0.0;
+  double exchange = 0.0;
+  double collective = 0.0;
+  double total() const { return compute + exchange + collective; }
+};
+
+class Runtime {
+ public:
+  Runtime(const machine::Partition& partition, Mode mode);
+
+  Mode mode() const { return mode_; }
+  std::int64_t num_ranks() const { return partition_->num_ranks(); }
+  const machine::Partition& partition() const { return *partition_; }
+  const net::TorusModel& torus() const { return torus_; }
+  const net::TreeModel& tree() const { return tree_; }
+
+  using ProduceFn = std::function<void(std::int64_t rank, Sender& out)>;
+  using ConsumeFn =
+      std::function<void(std::int64_t rank, std::span<const Message> inbox)>;
+
+  /// One communication superstep: every rank produces messages, the round is
+  /// priced on the torus, and (in any mode) each receiving rank consumes its
+  /// inbox in deterministic order. Returns the round's cost; also adds it to
+  /// the ledger.
+  net::ExchangeCost exchange(const ProduceFn& produce,
+                             const ConsumeFn& consume);
+
+  /// Prices an explicit message list (schedule-driven phases that already
+  /// built their messages). Consumes inboxes if `consume` is non-null.
+  /// `rounds` models pipelined issue (see TorusModel::exchange).
+  net::ExchangeCost exchange_messages(std::vector<Message> messages,
+                                      const ConsumeFn& consume = nullptr,
+                                      int rounds = 1);
+
+  /// Compute phase: runs `body` on every rank; the phase costs the maximum
+  /// of the reported per-rank durations. `body` returns its rank's modeled
+  /// compute seconds.
+  double compute(const std::function<double(std::int64_t rank)>& body);
+
+  /// Collectives (semantics executed by the caller where needed; these
+  /// charge time). bytes are per-rank payload sizes.
+  double barrier();
+  double allreduce(std::int64_t bytes);
+  double broadcast(std::int64_t bytes);
+  double gather(std::int64_t bytes_per_rank);
+
+  const TimeLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_ = {}; }
+
+ private:
+  const machine::Partition* partition_;
+  Mode mode_;
+  net::TorusModel torus_;
+  net::TreeModel tree_;
+  TimeLedger ledger_;
+};
+
+}  // namespace pvr::runtime

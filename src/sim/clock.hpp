@@ -1,0 +1,33 @@
+// Simulated time. All modelled durations in the library are double seconds;
+// the clock only ever moves forward.
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pvr::sim {
+
+/// Monotonic simulated clock.
+class Clock {
+ public:
+  double now() const { return now_; }
+
+  /// Advances by a non-negative duration and returns the new time.
+  double advance(double seconds) {
+    PVR_ASSERT(seconds >= 0.0);
+    now_ += seconds;
+    return now_;
+  }
+
+  /// Moves the clock to `t`, which must not be in the past.
+  void advance_to(double t) {
+    PVR_ASSERT(t >= now_);
+    now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace pvr::sim

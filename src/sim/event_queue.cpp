@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+namespace pvr::sim {
+
+void EventQueue::schedule_at(double t, Action action) {
+  PVR_ASSERT(t >= clock_.now());
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double dt, Action action) {
+  schedule_at(clock_.now() + dt, std::move(action));
+}
+
+double EventQueue::run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the action may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    clock_.advance_to(ev.time);
+    ev.action(*this);
+  }
+  return clock_.now();
+}
+
+double EventQueue::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    Event ev = heap_.top();
+    heap_.pop();
+    clock_.advance_to(ev.time);
+    ev.action(*this);
+  }
+  if (clock_.now() < t_end) clock_.advance_to(t_end);
+  return clock_.now();
+}
+
+}  // namespace pvr::sim

@@ -1,0 +1,52 @@
+// A small discrete-event engine. The storage model uses it to serialize
+// per-server access queues; tests use it directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace pvr::sim {
+
+/// Discrete-event queue with deterministic FIFO tie-breaking for events
+/// scheduled at identical times.
+class EventQueue {
+ public:
+  using Action = std::function<void(EventQueue&)>;
+
+  /// Schedules `action` to run at absolute simulated time `t` (>= now).
+  void schedule_at(double t, Action action);
+  /// Schedules `action` to run `dt` seconds from now (dt >= 0).
+  void schedule_in(double dt, Action action);
+
+  /// Runs events until the queue drains. Returns the final time.
+  double run();
+  /// Runs events with time <= t_end; later events stay queued.
+  double run_until(double t_end);
+
+  double now() const { return clock_.now(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // insertion order; breaks time ties deterministically
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Clock clock_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace pvr::sim

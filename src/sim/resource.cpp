@@ -1,0 +1,38 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+namespace pvr::sim {
+
+double SerialResource::acquire(double arrival, double service) {
+  PVR_ASSERT(arrival >= 0.0 && service >= 0.0);
+  const double start = std::max(arrival, busy_until_);
+  busy_until_ = start + service;
+  total_service_ += service;
+  ++requests_;
+  return busy_until_;
+}
+
+void SerialResource::reset() {
+  busy_until_ = 0.0;
+  total_service_ = 0.0;
+  requests_ = 0;
+}
+
+double ResourceBank::all_idle_time() const {
+  double t = 0.0;
+  for (const auto& r : resources_) t = std::max(t, r.busy_until());
+  return t;
+}
+
+double ResourceBank::max_total_service() const {
+  double t = 0.0;
+  for (const auto& r : resources_) t = std::max(t, r.total_service());
+  return t;
+}
+
+void ResourceBank::reset() {
+  for (auto& r : resources_) r.reset();
+}
+
+}  // namespace pvr::sim

@@ -1,0 +1,59 @@
+// Serial resources: entities (a disk server, a network interface, an ION
+// bridge) that service one request at a time. Requests queued on a resource
+// complete in arrival order; the resource tracks when it next becomes free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pvr::sim {
+
+/// A resource that serializes work. acquire() returns the completion time of
+/// a request that arrives at `arrival` and needs `service` seconds.
+class SerialResource {
+ public:
+  /// Queues a request; returns its completion time.
+  double acquire(double arrival, double service);
+
+  double busy_until() const { return busy_until_; }
+  double total_service() const { return total_service_; }
+  std::int64_t requests() const { return requests_; }
+  void reset();
+
+ private:
+  double busy_until_ = 0.0;
+  double total_service_ = 0.0;
+  std::int64_t requests_ = 0;
+};
+
+/// A bank of identical serial resources with round-robin or least-loaded
+/// dispatch; models server farms and ION groups.
+class ResourceBank {
+ public:
+  explicit ResourceBank(std::size_t count) : resources_(count) {
+    PVR_REQUIRE(count > 0, "resource bank must not be empty");
+  }
+
+  std::size_t size() const { return resources_.size(); }
+  SerialResource& at(std::size_t i) { return resources_[i]; }
+  const SerialResource& at(std::size_t i) const { return resources_[i]; }
+
+  /// Queues on a specific member (e.g. the server owning a stripe).
+  double acquire_on(std::size_t i, double arrival, double service) {
+    PVR_ASSERT(i < resources_.size());
+    return resources_[i].acquire(arrival, service);
+  }
+
+  /// Time at which every member is idle.
+  double all_idle_time() const;
+  /// Largest per-member accumulated service (the straggler).
+  double max_total_service() const;
+  void reset();
+
+ private:
+  std::vector<SerialResource> resources_;
+};
+
+}  // namespace pvr::sim

@@ -1,0 +1,61 @@
+#include "storage/access_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/image.hpp"
+
+namespace pvr::storage {
+
+void AccessLog::record_all(const std::vector<PhysicalAccess>& accesses) {
+  accesses_.insert(accesses_.end(), accesses.begin(), accesses.end());
+}
+
+void AccessLog::clear() {
+  accesses_.clear();
+  useful_bytes_ = 0;
+}
+
+AccessStats AccessLog::stats() const {
+  AccessStats s;
+  s.accesses = static_cast<std::int64_t>(accesses_.size());
+  for (const auto& a : accesses_) s.physical_bytes += a.bytes;
+  s.useful_bytes = useful_bytes_;
+  return s;
+}
+
+std::vector<double> AccessLog::coverage(std::int64_t file_bytes,
+                                        int cells) const {
+  PVR_REQUIRE(file_bytes > 0 && cells > 0, "coverage needs positive sizes");
+  std::vector<double> cov(static_cast<std::size_t>(cells), 0.0);
+  const double cell_bytes = double(file_bytes) / cells;
+  for (const auto& a : accesses_) {
+    const std::int64_t end = std::min(a.offset + a.bytes, file_bytes);
+    std::int64_t pos = std::clamp<std::int64_t>(a.offset, 0, file_bytes);
+    while (pos < end) {
+      const int cell = std::min(cells - 1, int(double(pos) / cell_bytes));
+      const std::int64_t cell_end =
+          std::min<std::int64_t>(end, std::int64_t((cell + 1) * cell_bytes));
+      const std::int64_t take = std::max<std::int64_t>(1, cell_end - pos);
+      cov[static_cast<std::size_t>(cell)] += double(take) / cell_bytes;
+      pos += take;
+    }
+  }
+  for (auto& v : cov) v = std::min(v, 1.0);
+  return cov;
+}
+
+void AccessLog::write_coverage_pgm(std::int64_t file_bytes, int width,
+                                   int height,
+                                   const std::string& path) const {
+  const std::vector<double> cov = coverage(file_bytes, width * height);
+  std::vector<std::uint8_t> gray(cov.size());
+  for (std::size_t i = 0; i < cov.size(); ++i) {
+    // Dark = touched, matching the paper's rendering.
+    gray[i] = static_cast<std::uint8_t>(255.0 * (1.0 - cov[i]));
+  }
+  write_pgm(gray, width, height, path);
+}
+
+}  // namespace pvr::storage

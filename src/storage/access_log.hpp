@@ -1,0 +1,60 @@
+// Physical file-access records and the access log used to reproduce the
+// paper's I/O-signature analysis (Fig 9: which file blocks were touched, how
+// many accesses, of what size, how many useful bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pvr::storage {
+
+/// One physical read issued against the file system.
+struct PhysicalAccess {
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+  std::int64_t client_rank = 0;  ///< rank (aggregator) issuing the access
+};
+
+/// Aggregate statistics over a set of physical accesses.
+struct AccessStats {
+  std::int64_t accesses = 0;
+  std::int64_t physical_bytes = 0;
+  std::int64_t useful_bytes = 0;  ///< caller-provided requested payload
+  double mean_access_bytes() const {
+    return accesses > 0 ? double(physical_bytes) / double(accesses) : 0.0;
+  }
+  /// The paper's "data density": useful bytes / physically read bytes.
+  double data_density() const {
+    return physical_bytes > 0 ? double(useful_bytes) / double(physical_bytes)
+                              : 0.0;
+  }
+};
+
+/// Accumulates accesses and renders the touched-blocks map of Fig 9.
+class AccessLog {
+ public:
+  void record(const PhysicalAccess& access) { accesses_.push_back(access); }
+  void record_all(const std::vector<PhysicalAccess>& accesses);
+  void set_useful_bytes(std::int64_t bytes) { useful_bytes_ = bytes; }
+  void clear();
+
+  const std::vector<PhysicalAccess>& accesses() const { return accesses_; }
+  AccessStats stats() const;
+
+  /// Coverage map over a file of `file_bytes`, quantized into `cells` equal
+  /// blocks: cell value = fraction of the block touched, in [0,1].
+  std::vector<double> coverage(std::int64_t file_bytes, int cells) const;
+
+  /// Writes the coverage map as a PGM image (`width` x `height` cells, file
+  /// offset raster-ordered left-right top-bottom; dark = touched), the same
+  /// rendering the paper shows in Fig 9.
+  void write_coverage_pgm(std::int64_t file_bytes, int width, int height,
+                          const std::string& path) const;
+
+ private:
+  std::vector<PhysicalAccess> accesses_;
+  std::int64_t useful_bytes_ = 0;
+};
+
+}  // namespace pvr::storage

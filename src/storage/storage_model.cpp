@@ -1,0 +1,80 @@
+#include "storage/storage_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pvr::storage {
+
+StorageModel::StorageModel(const machine::Partition& partition,
+                           const machine::StorageConfig& cfg)
+    : partition_(&partition), cfg_(cfg) {
+  PVR_REQUIRE(machine::valid(cfg), "invalid storage config");
+}
+
+double StorageModel::aggregate_cap() const {
+  return cfg_.cap_base *
+         std::pow(double(partition_->num_ions()), cfg_.cap_ion_exponent);
+}
+
+IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses) const {
+  IoCost cost;
+  if (accesses.empty()) return cost;
+
+  std::vector<double> server_busy(static_cast<std::size_t>(cfg_.num_servers),
+                                  0.0);
+  std::vector<double> ion_bytes(static_cast<std::size_t>(
+                                    partition_->num_ions()),
+                                0.0);
+  std::vector<std::int64_t> client_requests(
+      static_cast<std::size_t>(partition_->num_ranks()), 0);
+
+  for (const PhysicalAccess& a : accesses) {
+    PVR_ASSERT(a.offset >= 0 && a.bytes >= 0);
+    if (a.bytes == 0) continue;
+    ++cost.accesses;
+    cost.physical_bytes += a.bytes;
+
+    // Split the access into per-server stripe extents; each extent costs the
+    // owning server one request latency plus streaming time.
+    std::int64_t pos = a.offset;
+    const std::int64_t end = a.offset + a.bytes;
+    while (pos < end) {
+      const std::int64_t stripe_end =
+          (pos / cfg_.stripe_bytes + 1) * cfg_.stripe_bytes;
+      const std::int64_t take = std::min(end, stripe_end) - pos;
+      // Consecutive stripes on the same server (num_servers == 1 or small
+      // accesses) still pay one latency per stripe crossing; this slightly
+      // overcharges huge accesses but those are streaming-dominated anyway.
+      auto& busy = server_busy[static_cast<std::size_t>(server_of(pos))];
+      busy += cfg_.server_access_latency + double(take) / cfg_.server_bw;
+      pos += take;
+    }
+
+    const auto ion = static_cast<std::size_t>(
+        partition_->ion_of_rank(a.client_rank));
+    ion_bytes[ion] += double(a.bytes);
+    ++client_requests[static_cast<std::size_t>(a.client_rank)];
+  }
+
+  cost.startup_seconds = cfg_.client_startup;
+  cost.server_seconds = *std::max_element(server_busy.begin(),
+                                          server_busy.end());
+  const double worst_ion_bytes =
+      *std::max_element(ion_bytes.begin(), ion_bytes.end());
+  cost.ion_seconds = worst_ion_bytes / cfg_.ion_bw;
+  cost.cap_seconds = double(cost.physical_bytes) / aggregate_cap();
+  const std::int64_t worst_client =
+      *std::max_element(client_requests.begin(), client_requests.end());
+  cost.client_seconds = double(worst_client) * cfg_.client_request_overhead;
+
+  cost.seconds = cost.startup_seconds +
+                 std::max({cost.server_seconds, cost.ion_seconds,
+                           cost.cap_seconds}) +
+                 cost.client_seconds;
+  return cost;
+}
+
+}  // namespace pvr::storage

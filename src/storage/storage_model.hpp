@@ -1,0 +1,65 @@
+// Parallel file system cost model.
+//
+// The modeled system mirrors the paper's description: files are striped
+// round-robin over `num_servers` file servers; compute nodes reach storage
+// through I/O nodes (one ION per 64 compute nodes). The cost of a batch of
+// physical accesses issued collectively is
+//
+//   startup + max( worst-server queue, worst-ION bridge, aggregate cap )
+//
+// where each server serializes its extents (per-access latency + streaming),
+// each ION serializes the bytes of the clients behind it, and the aggregate
+// cap models the share of the shared storage fabric one application sees
+// (DESIGN.md §4).
+#pragma once
+
+#include <span>
+
+#include "machine/config.hpp"
+#include "machine/partition.hpp"
+#include "storage/access_log.hpp"
+
+namespace pvr::storage {
+
+/// Cost breakdown of one collective I/O batch.
+struct IoCost {
+  double seconds = 0.0;
+  std::int64_t accesses = 0;
+  std::int64_t physical_bytes = 0;
+
+  double startup_seconds = 0.0;
+  double server_seconds = 0.0;  ///< worst per-server queue
+  double ion_seconds = 0.0;     ///< worst ION bridge serialization
+  double cap_seconds = 0.0;     ///< aggregate fabric-share term
+  double client_seconds = 0.0;  ///< worst per-client request overhead
+
+  /// Physical bandwidth of the batch, bytes/second.
+  double bandwidth() const {
+    return seconds > 0.0 ? double(physical_bytes) / seconds : 0.0;
+  }
+};
+
+class StorageModel {
+ public:
+  StorageModel(const machine::Partition& partition,
+               const machine::StorageConfig& cfg);
+
+  /// Server owning the stripe containing `offset`.
+  int server_of(std::int64_t offset) const {
+    return int((offset / cfg_.stripe_bytes) % cfg_.num_servers);
+  }
+
+  /// Models one collective batch of reads (all requests issued together).
+  IoCost read_cost(std::span<const PhysicalAccess> accesses) const;
+
+  /// The partition's aggregate fabric-share ceiling (bytes/s).
+  double aggregate_cap() const;
+
+  const machine::StorageConfig& config() const { return cfg_; }
+
+ private:
+  const machine::Partition* partition_;
+  machine::StorageConfig cfg_;
+};
+
+}  // namespace pvr::storage

@@ -1,0 +1,53 @@
+// A brick: a box-shaped float field over a global index space. Used as the
+// per-rank destination of collective reads and as the renderer's data block.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/vec.hpp"
+
+namespace pvr {
+
+class Brick {
+ public:
+  Brick() = default;
+  explicit Brick(const Box3i& box)
+      : box_(box),
+        data_(static_cast<std::size_t>(box.empty() ? 0 : box.volume())) {}
+
+  const Box3i& box() const { return box_; }
+  bool empty() const { return box_.empty(); }
+  std::int64_t num_elements() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  /// Element access by *global* grid coordinates.
+  float& at(std::int64_t x, std::int64_t y, std::int64_t z) {
+    return data_[index(x, y, z)];
+  }
+  float at(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    return data_[index(x, y, z)];
+  }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// Linear index of the first element of row (y, z); rows are x-contiguous.
+  std::size_t row_index(std::int64_t y, std::int64_t z) const {
+    return index(box_.lo.x, y, z);
+  }
+
+ private:
+  std::size_t index(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    PVR_ASSERT(box_.contains({x, y, z}));
+    const Vec3i e = box_.extent();
+    return static_cast<std::size_t>(
+        ((z - box_.lo.z) * e.y + (y - box_.lo.y)) * e.x + (x - box_.lo.x));
+  }
+
+  Box3i box_;
+  std::vector<float> data_;
+};
+
+}  // namespace pvr

@@ -1,0 +1,60 @@
+// RGBA pixel type with premultiplied alpha and the Porter–Duff "over"
+// operator, the algebraic core of both front-to-back ray accumulation and
+// image compositing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace pvr {
+
+/// Premultiplied-alpha RGBA color, 32-bit float per channel.
+struct Rgba {
+  float r = 0.0f, g = 0.0f, b = 0.0f, a = 0.0f;
+
+  constexpr Rgba() = default;
+  constexpr Rgba(float r_, float g_, float b_, float a_)
+      : r(r_), g(g_), b(b_), a(a_) {}
+
+  constexpr bool operator==(const Rgba&) const = default;
+
+  /// Porter–Duff "over": composites `back` behind *this (front-to-back).
+  /// Associative but not commutative; compositing order must follow depth.
+  constexpr Rgba over(const Rgba& back) const {
+    const float t = 1.0f - a;
+    return {r + t * back.r, g + t * back.g, b + t * back.b, a + t * back.a};
+  }
+
+  /// In-place front-to-back accumulation of a sample behind the current ray
+  /// color. Equivalent to *this = this->over(back).
+  constexpr void blend_under(const Rgba& back) { *this = over(back); }
+
+  constexpr bool opaque(float threshold = 0.999f) const {
+    return a >= threshold;
+  }
+
+  constexpr Rgba operator*(float s) const {
+    return {r * s, g * s, b * s, a * s};
+  }
+  constexpr Rgba operator+(const Rgba& o) const {
+    return {r + o.r, g + o.g, b + o.b, a + o.a};
+  }
+};
+
+/// Identity of the over operator.
+inline constexpr Rgba kTransparent{0.0f, 0.0f, 0.0f, 0.0f};
+
+/// Maximum absolute channel difference; used by image-equality tests.
+constexpr float max_channel_diff(const Rgba& x, const Rgba& y) {
+  return std::max(std::max(std::fabs(x.r - y.r), std::fabs(x.g - y.g)),
+                  std::max(std::fabs(x.b - y.b), std::fabs(x.a - y.a)));
+}
+
+/// Converts a [0,1] float channel to an 8-bit value with rounding.
+constexpr std::uint8_t to_u8(float c) {
+  const float v = std::clamp(c, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+}
+
+}  // namespace pvr

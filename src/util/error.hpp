@@ -1,0 +1,48 @@
+// Error handling primitives.
+//
+// Recoverable failures (bad files, invalid configurations supplied by a
+// caller) throw pvr::Error; internal invariants use PVR_ASSERT, which is
+// active in all build types because the cost is negligible relative to the
+// work done between checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pvr {
+
+/// Exception type for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "pvr: assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace pvr
+
+/// Invariant check, active in every build type.
+#define PVR_ASSERT(expr)                                     \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pvr::detail::assert_fail(#expr, __FILE__, __LINE__); \
+    }                                                        \
+  } while (false)
+
+/// Precondition check on user-supplied values; throws pvr::Error.
+#define PVR_REQUIRE(expr, msg)                                           \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      throw ::pvr::Error(std::string("precondition failed: ") + (msg)); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,23 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace pvr {
+namespace {
+LogLevel g_level = LogLevel::kQuiet;
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_info(const std::string& msg) {
+  if (g_level >= LogLevel::kInfo) std::fprintf(stderr, "[pvr] %s\n", msg.c_str());
+}
+
+void log_debug(const std::string& msg) {
+  if (g_level >= LogLevel::kDebug) {
+    std::fprintf(stderr, "[pvr:debug] %s\n", msg.c_str());
+  }
+}
+
+}  // namespace pvr

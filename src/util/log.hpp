@@ -1,0 +1,17 @@
+// Minimal leveled logging to stderr. The library is quiet by default;
+// benches and examples raise the level for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace pvr {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_info(const std::string& msg);
+void log_debug(const std::string& msg);
+
+}  // namespace pvr

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation. All stochastic pieces of the
+// library (synthetic data, load-imbalance jitter, property tests) draw from
+// these generators so every run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace pvr {
+
+/// SplitMix64; used for seeding and cheap hashing of integer tuples.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of up to three 64-bit values; used to derive smooth,
+/// position-stable noise for the synthetic dataset.
+constexpr std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b = 0,
+                                 std::uint64_t c = 0) {
+  std::uint64_t s = a * 0x9E3779B97F4A7C15ULL + b * 0xC2B2AE3D27D4EB4FULL +
+                    c * 0x165667B19E3779F9ULL + 0x27D4EB2F165667C5ULL;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return double(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    return next_u64() % n;  // negligible modulo bias for our n
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace pvr

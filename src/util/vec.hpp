@@ -1,0 +1,162 @@
+// Small fixed-size vector and box math used by the renderer, the domain
+// decomposition, and the torus topology. Header-only, value types.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace pvr {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  /// Broadcast constructor.
+  constexpr explicit Vec3(T v) : x(v), y(v), z(v) {}
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {static_cast<T>(x + o.x), static_cast<T>(y + o.y),
+            static_cast<T>(z + o.z)};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {static_cast<T>(x - o.x), static_cast<T>(y - o.y),
+            static_cast<T>(z - o.z)};
+  }
+  constexpr Vec3 operator*(T s) const {
+    return {static_cast<T>(x * s), static_cast<T>(y * s),
+            static_cast<T>(z * s)};
+  }
+  constexpr Vec3 operator/(T s) const {
+    return {static_cast<T>(x / s), static_cast<T>(y / s),
+            static_cast<T>(z / s)};
+  }
+  constexpr Vec3 operator*(const Vec3& o) const {
+    return {static_cast<T>(x * o.x), static_cast<T>(y * o.y),
+            static_cast<T>(z * o.z)};
+  }
+  constexpr Vec3 operator/(const Vec3& o) const {
+    return {static_cast<T>(x / o.x), static_cast<T>(y / o.y),
+            static_cast<T>(z / o.z)};
+  }
+  constexpr Vec3 operator-() const {
+    return {static_cast<T>(-x), static_cast<T>(-y), static_cast<T>(-z)};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) { return *this = *this + o; }
+  constexpr Vec3& operator-=(const Vec3& o) { return *this = *this - o; }
+  constexpr Vec3& operator*=(T s) { return *this = *this * s; }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  T length() const { return static_cast<T>(std::sqrt(double(dot(*this)))); }
+  Vec3 normalized() const {
+    const T len = length();
+    return len > T{0} ? *this / len : Vec3{};
+  }
+  /// Product of components; useful for element counts of grid extents.
+  constexpr T volume() const { return x * y * z; }
+  constexpr T min_component() const { return std::min({x, y, z}); }
+  constexpr T max_component() const { return std::max({x, y, z}); }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+template <typename T>
+constexpr Vec3<T> min(const Vec3<T>& a, const Vec3<T>& b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+template <typename T>
+constexpr Vec3<T> max(const Vec3<T>& a, const Vec3<T>& b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec3<T>& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<std::int64_t>;
+
+/// Half-open axis-aligned box [lo, hi). Used both for voxel index ranges and
+/// continuous world-space bounds.
+template <typename T>
+struct Box3 {
+  Vec3<T> lo{}, hi{};
+
+  constexpr Box3() = default;
+  constexpr Box3(Vec3<T> lo_, Vec3<T> hi_) : lo(lo_), hi(hi_) {}
+
+  constexpr Vec3<T> extent() const { return hi - lo; }
+  constexpr T volume() const {
+    const Vec3<T> e = extent();
+    return empty() ? T{0} : e.x * e.y * e.z;
+  }
+  constexpr bool empty() const {
+    return hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z;
+  }
+  constexpr bool contains(const Vec3<T>& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+  constexpr Box3 intersect(const Box3& o) const {
+    return {max(lo, o.lo), min(hi, o.hi)};
+  }
+  constexpr Box3 bounding_union(const Box3& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {min(lo, o.lo), max(hi, o.hi)};
+  }
+  constexpr Vec3<double> center() const {
+    return {0.5 * (double(lo.x) + double(hi.x)),
+            0.5 * (double(lo.y) + double(hi.y)),
+            0.5 * (double(lo.z) + double(hi.z))};
+  }
+  constexpr bool operator==(const Box3&) const = default;
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Box3<T>& b) {
+  return os << '[' << b.lo << ", " << b.hi << ')';
+}
+
+using Box3f = Box3<float>;
+using Box3d = Box3<double>;
+using Box3i = Box3<std::int64_t>;
+
+/// Integer ceiling division for positive operands.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// Integer log2 for powers of two.
+constexpr int ilog2(std::int64_t v) {
+  int l = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace pvr

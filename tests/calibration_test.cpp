@@ -1,0 +1,180 @@
+// Calibration/shape tests: the model must reproduce the paper's qualitative
+// findings (curve shapes, crossovers, dominance relations) at paper scale.
+// These are the guards that keep the machine-model constants honest; the
+// quantitative paper-vs-model comparison lives in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace pvr::core {
+namespace {
+
+ExperimentConfig paper_config(std::int64_t ranks, std::int64_t grid,
+                              int image, format::FileFormat fmt) {
+  ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(fmt, grid);
+  cfg.image_width = cfg.image_height = image;
+  return cfg;
+}
+
+double composite_seconds(std::int64_t ranks,
+                         compose::CompositorPolicy policy) {
+  ExperimentConfig cfg =
+      paper_config(ranks, 1120, 1600, format::FileFormat::kRaw);
+  ParallelVolumeRenderer pvr(cfg);
+  return pvr.model_composite(policy).seconds;
+}
+
+TEST(CompositeCalibration, FlatThroughOneK) {
+  // Paper: "original compositing time remains constant through 1K cores".
+  const double t64 = composite_seconds(64, compose::CompositorPolicy::kOriginal);
+  const double t1k =
+      composite_seconds(1024, compose::CompositorPolicy::kOriginal);
+  EXPECT_LT(t1k / t64, 4.0);
+  EXPECT_GT(t1k / t64, 0.25);
+}
+
+TEST(CompositeCalibration, SharpIncreaseBeyondOneK) {
+  // Paper: "beyond that, compositing time increases sharply".
+  const double t1k =
+      composite_seconds(1024, compose::CompositorPolicy::kOriginal);
+  const double t32k =
+      composite_seconds(32768, compose::CompositorPolicy::kOriginal);
+  EXPECT_GT(t32k / t1k, 10.0);
+}
+
+TEST(CompositeCalibration, ImprovementFactorAt32K) {
+  // Paper: "At 32K renderers, the compositing time improved by a factor of
+  // 30 times over the original scheme." Accept a 10x-100x band.
+  const double orig =
+      composite_seconds(32768, compose::CompositorPolicy::kOriginal);
+  const double impr =
+      composite_seconds(32768, compose::CompositorPolicy::kImproved);
+  EXPECT_GT(orig / impr, 10.0);
+  EXPECT_LT(orig / impr, 100.0);
+}
+
+TEST(CompositeCalibration, OriginalExceedsRenderBeyond8K) {
+  // Paper Fig 3: "beyond 8K cores, the compositing time is greater than the
+  // rendering time".
+  ExperimentConfig cfg =
+      paper_config(16384, 1120, 1600, format::FileFormat::kRaw);
+  ParallelVolumeRenderer pvr(cfg);
+  const double render = pvr.model_render().seconds;
+  const double composite =
+      pvr.model_composite(compose::CompositorPolicy::kOriginal).seconds;
+  EXPECT_GT(composite, render);
+}
+
+TEST(CompositeCalibration, VisualizationOnlyTimeAt16K) {
+  // Paper: "our visualization-only time (rendering + compositing) is 0.6 s"
+  // at 16K cores. Accept [0.15, 2.5] s.
+  ExperimentConfig cfg =
+      paper_config(16384, 1120, 1600, format::FileFormat::kRaw);
+  ParallelVolumeRenderer pvr(cfg);
+  const double vis =
+      pvr.model_render().seconds +
+      pvr.model_composite(compose::CompositorPolicy::kImproved).seconds;
+  EXPECT_GT(vis, 0.15);
+  EXPECT_LT(vis, 2.5);
+}
+
+TEST(IoCalibration, RawBandwidthGrowsThenSaturates) {
+  // Paper Fig 7: raw read bandwidth rises with core count into the
+  // ~1 GB/s region.
+  const auto bw = [](std::int64_t ranks) {
+    ExperimentConfig cfg =
+        paper_config(ranks, 1120, 1600, format::FileFormat::kRaw);
+    ParallelVolumeRenderer pvr(cfg);
+    const auto io = pvr.model_io();
+    return io.bandwidth_useful();
+  };
+  const double b64 = bw(64);
+  const double b1k = bw(1024);
+  const double b16k = bw(16384);
+  EXPECT_GT(b1k, b64);
+  EXPECT_GE(b16k, b1k * 0.8);
+  // Absolute bands: ~0.2-0.5 GB/s at 64 cores, ~0.7-2.0 GB/s at 16K.
+  EXPECT_GT(b64, 0.15e9);
+  EXPECT_LT(b64, 0.55e9);
+  EXPECT_GT(b16k, 0.7e9);
+  EXPECT_LT(b16k, 2.0e9);
+}
+
+TEST(IoCalibration, BestTotalFrameTimeNearPaper) {
+  // Paper: "The best all-inclusive frame time of 5.9 s was achieved with
+  // 16K cores" (raw, 1120^3, 1600^2). Accept [3, 12] s.
+  ExperimentConfig cfg =
+      paper_config(16384, 1120, 1600, format::FileFormat::kRaw);
+  cfg.composite.policy = compose::CompositorPolicy::kImproved;
+  ParallelVolumeRenderer pvr(cfg);
+  const FrameStats f = pvr.model_frame();
+  EXPECT_GT(f.total_seconds(), 3.0);
+  EXPECT_LT(f.total_seconds(), 12.0);
+}
+
+TEST(IoCalibration, NetcdfSlowerThanRaw) {
+  // Paper: untuned netCDF is 4-5x slower than raw at low core counts and
+  // ~1.5x at high counts. Accept 2.5-7x low, 1.2-4x high.
+  const auto io_time = [](std::int64_t ranks, format::FileFormat fmt,
+                          bool tuned) {
+    ExperimentConfig cfg = paper_config(ranks, 1120, 1600, fmt);
+    if (tuned && fmt == format::FileFormat::kNetcdfRecord) {
+      cfg.hints = iolib::Hints::tuned_for_record(cfg.dataset.slice_bytes());
+    }
+    ParallelVolumeRenderer pvr(cfg);
+    return pvr.model_io().seconds;
+  };
+  const double raw64 = io_time(64, format::FileFormat::kRaw, false);
+  const double nc64 = io_time(64, format::FileFormat::kNetcdfRecord, false);
+  EXPECT_GT(nc64 / raw64, 2.5);
+  EXPECT_LT(nc64 / raw64, 7.0);
+
+  const double raw16k = io_time(16384, format::FileFormat::kRaw, false);
+  const double nc16k =
+      io_time(16384, format::FileFormat::kNetcdfRecord, false);
+  EXPECT_GT(nc16k / raw16k, 1.2);
+  EXPECT_LT(nc16k / raw16k, 4.5);
+}
+
+TEST(IoCalibration, TuningHelpsNetcdf) {
+  // Paper: record-size buffers improved netCDF I/O "in some cases by a
+  // factor of two".
+  ExperimentConfig cfg =
+      paper_config(2048, 1120, 1600, format::FileFormat::kNetcdfRecord);
+  ParallelVolumeRenderer untuned(cfg);
+  const double t_untuned = untuned.model_io().seconds;
+  cfg.hints = iolib::Hints::tuned_for_record(cfg.dataset.slice_bytes());
+  ParallelVolumeRenderer tuned(cfg);
+  const double t_tuned = tuned.model_io().seconds;
+  EXPECT_GT(t_untuned / t_tuned, 1.3);
+  EXPECT_LT(t_untuned / t_tuned, 4.0);
+}
+
+TEST(IoCalibration, IoDominatesLargeSizes) {
+  // Paper Table II: I/O is ~96% of frame time for the 2240^3 runs.
+  ExperimentConfig cfg =
+      paper_config(8192, 2240, 2048, format::FileFormat::kRaw);
+  cfg.composite.policy = compose::CompositorPolicy::kImproved;
+  ParallelVolumeRenderer pvr(cfg);
+  const FrameStats f = pvr.model_frame();
+  EXPECT_GT(f.pct_io(), 85.0);
+}
+
+TEST(IoCalibration, Table2TotalsInBand) {
+  // Paper Table II: 2240^3 at 32K cores: 35.5 s total, 1.26 GB/s read.
+  // Accept [20, 70] s and [0.6, 2.5] GB/s.
+  ExperimentConfig cfg =
+      paper_config(32768, 2240, 2048, format::FileFormat::kRaw);
+  cfg.composite.policy = compose::CompositorPolicy::kImproved;
+  ParallelVolumeRenderer pvr(cfg);
+  const FrameStats f = pvr.model_frame();
+  EXPECT_GT(f.total_seconds(), 20.0);
+  EXPECT_LT(f.total_seconds(), 70.0);
+  EXPECT_GT(f.read_bandwidth(), 0.6e9);
+  EXPECT_LT(f.read_bandwidth(), 2.5e9);
+}
+
+}  // namespace
+}  // namespace pvr::core

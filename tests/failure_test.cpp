@@ -1,0 +1,200 @@
+// Failure injection: corrupt files, truncated data, degenerate
+// configurations. The library must fail loudly (pvr::Error) rather than
+// produce silently wrong results.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "data/writers.hpp"
+#include "iolib/collective_read.hpp"
+#include "render/decomposition.hpp"
+
+namespace pvr {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::temp_directory_path() / "pvr_failure_test") {
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+TEST(FailureTest, TruncatedDataFileFailsTheRead) {
+  TempDir dir;
+  const auto desc = format::supernova_desc(format::FileFormat::kRaw, 16);
+  const std::string path = dir.file("vol.raw");
+  data::write_supernova_file(desc, path, 1);
+  {
+    format::DiskFile f(path, format::DiskFile::OpenMode::kReadWrite);
+    f.truncate(f.size() / 2);  // cut the file in half
+  }
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = 8;
+  cfg.dataset = desc;
+  cfg.image_width = cfg.image_height = 32;
+  core::ParallelVolumeRenderer renderer(cfg);
+  Image out;
+  EXPECT_THROW(renderer.execute_frame(path, &out), Error);
+}
+
+TEST(FailureTest, MissingFileFails) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 8);
+  cfg.image_width = cfg.image_height = 16;
+  core::ParallelVolumeRenderer renderer(cfg);
+  Image out;
+  EXPECT_THROW(renderer.execute_frame("/nonexistent/path.raw", &out), Error);
+}
+
+TEST(FailureTest, CorruptNetcdfHeaderRejected) {
+  using namespace format::netcdf;
+  const File f = make_volume_file(Version::k64BitOffset, 8, 8, 8,
+                                  {"a", "b"}, true);
+  std::vector<std::byte> bytes = f.encode_header();
+
+  // Patch the first variable's vsize field (the last 12 bytes of the first
+  // var entry are nc_type, vsize, begin-hi, begin-lo); flipping a byte in
+  // vsize makes the header inconsistent with the layout rules.
+  // Locate it robustly: decode fails after corruption somewhere meaningful.
+  bool rejected = false;
+  for (std::size_t pos = bytes.size() - 40; pos < bytes.size(); ++pos) {
+    std::vector<std::byte> corrupt = bytes;
+    corrupt[pos] ^= std::byte{0x40};
+    try {
+      (void)File::decode_header(corrupt);
+    } catch (const Error&) {
+      rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST(FailureTest, CorruptShdfMetadataRejected) {
+  const auto info = format::shdf::make_layout({8, 8, 8}, {"v"}, 4);
+  std::vector<std::byte> bytes = format::shdf::encode_metadata(info);
+  // Bad magic.
+  std::vector<std::byte> bad_magic = bytes;
+  bad_magic[0] = std::byte{0xFF};
+  EXPECT_THROW(format::shdf::decode_metadata(bad_magic), Error);
+  // Absurd variable count.
+  std::vector<std::byte> bad_count = bytes;
+  bad_count[8] = std::byte{0xFF};
+  bad_count[9] = std::byte{0xFF};
+  EXPECT_THROW(format::shdf::decode_metadata(bad_count), Error);
+  // Truncated buffer.
+  std::vector<std::byte> truncated(bytes.begin(), bytes.begin() + 16);
+  EXPECT_THROW(format::shdf::decode_metadata(truncated), Error);
+}
+
+TEST(FailureTest, ZeroOpacityTransferFunctionIsHarmless) {
+  // Degenerate but legal: everything transparent renders a valid, empty
+  // image end to end.
+  TempDir dir;
+  const auto desc = format::supernova_desc(format::FileFormat::kRaw, 12);
+  const std::string path = dir.file("vol.raw");
+  data::write_supernova_file(desc, path, 1);
+
+  Brick whole(Box3i{{0, 0, 0}, desc.dims});
+  data::SupernovaField(1).fill_brick(data::Variable::kPressure, desc.dims,
+                                     &whole);
+  render::RenderConfig rcfg;
+  const render::Raycaster rc(desc.dims, rcfg);
+  const render::Camera cam = render::Camera::default_view(desc.dims, 24, 24);
+  const Image img =
+      rc.render_full(whole, cam, render::TransferFunction::transparent());
+  for (const Rgba& p : img.pixels()) EXPECT_EQ(p, kTransparent);
+}
+
+TEST(FailureTest, CameraInsideVolumeStillRenders) {
+  const Vec3i dims{16, 16, 16};
+  Brick whole(Box3i{{0, 0, 0}, dims});
+  data::SupernovaField(2).fill_brick(data::Variable::kDensity, dims, &whole);
+  const render::Raycaster rc(dims, render::RenderConfig{});
+  // Eye at the volume center looking out.
+  const render::Camera cam = render::Camera::look_at(
+      {0.5, 0.5, 0.5}, {2.0, 0.5, 0.5}, {0, 1, 0}, 60.0, 32, 32);
+  const Image img = rc.render_full(
+      whole, cam, render::TransferFunction::grayscale_ramp(0.3f));
+  // No crash, some visible content looking through half the volume.
+  float max_alpha = 0.0f;
+  for (const Rgba& p : img.pixels()) max_alpha = std::max(max_alpha, p.a);
+  EXPECT_GT(max_alpha, 0.0f);
+}
+
+TEST(FailureTest, MoreFixedCompositorsThanRanksClamps) {
+  machine::Partition part(machine::MachineConfig{}, 8);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  compose::CompositeConfig cc;
+  cc.policy = compose::CompositorPolicy::kFixed;
+  cc.fixed_compositors = 1000;
+  compose::DirectSendCompositor compositor(rt, cc);
+  EXPECT_EQ(compositor.compositor_count(), 8);
+}
+
+TEST(FailureTest, EmptyFootprintBlocksProduceNoMessages) {
+  machine::Partition part(machine::MachineConfig{}, 4);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  compose::DirectSendCompositor compositor(rt, compose::CompositeConfig{});
+  std::vector<compose::BlockScreenInfo> blocks(4);
+  for (int i = 0; i < 4; ++i) {
+    blocks[std::size_t(i)].rank = i;  // all footprints empty
+  }
+  const auto stats = compositor.model(blocks, 64, 64);
+  EXPECT_EQ(stats.messages, 0);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST(FailureTest, WrongVariableNameFailsEarly) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.dataset =
+      format::supernova_desc(format::FileFormat::kNetcdfRecord, 8);
+  cfg.variable = "temperature";  // not one of the five VH-1 variables
+  EXPECT_THROW(core::ParallelVolumeRenderer{cfg}, Error);
+}
+
+TEST(FailureTest, ReadBeyondVolumeIsClipped) {
+  // Requests extending past the volume are clipped, not errors (ghost
+  // layers at boundaries rely on this).
+  const format::VolumeLayout layout(
+      format::supernova_desc(format::FileFormat::kRaw, 8));
+  std::vector<format::SlabRequest> slabs;
+  layout.subvolume_slabs(0, Box3i{{-5, -5, -5}, {100, 100, 100}}, &slabs);
+  std::int64_t useful = 0;
+  for (const auto& s : slabs) useful += s.useful_bytes();
+  EXPECT_EQ(useful, 8 * 8 * 8 * 4);
+}
+
+TEST(FailureTest, FullyOutsideBoxYieldsNothing) {
+  const format::VolumeLayout layout(
+      format::supernova_desc(format::FileFormat::kRaw, 8));
+  std::vector<format::SlabRequest> slabs;
+  layout.subvolume_slabs(0, Box3i{{10, 10, 10}, {20, 20, 20}}, &slabs);
+  EXPECT_TRUE(slabs.empty());
+}
+
+TEST(FailureDeathTest, BrickAccessOutsideBoxAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Brick b(Box3i{{0, 0, 0}, {2, 2, 2}});
+  EXPECT_DEATH((void)b.at(5, 0, 0), "assertion failed");
+}
+
+TEST(FailureDeathTest, ImageIndexOutOfRangeAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Image img(4, 4);
+  EXPECT_DEATH((void)img.at(4, 0), "assertion failed");
+}
+
+}  // namespace
+}  // namespace pvr

@@ -1,0 +1,240 @@
+// Tests for the netCDF classic codec: spec-level golden bytes, round trips,
+// layout rules (record interleaving, 4 GiB limit), error handling.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "format/netcdf.hpp"
+
+namespace pvr::format::netcdf {
+namespace {
+
+TEST(NcTypeTest, Sizes) {
+  EXPECT_EQ(type_size(NcType::kByte), 1);
+  EXPECT_EQ(type_size(NcType::kChar), 1);
+  EXPECT_EQ(type_size(NcType::kShort), 2);
+  EXPECT_EQ(type_size(NcType::kInt), 4);
+  EXPECT_EQ(type_size(NcType::kFloat), 4);
+  EXPECT_EQ(type_size(NcType::kDouble), 8);
+}
+
+TEST(GoldenBytesTest, MinimalCdf1Header) {
+  // One fixed dim "x" of length 2, no attrs, one float var "v" on (x).
+  Var v;
+  v.name = "v";
+  v.dimids = {0};
+  v.type = NcType::kFloat;
+  const File f(Version::kClassic, {{"x", 2}}, {}, {v}, 0);
+  const std::vector<std::byte> h = f.encode_header();
+
+  // Hand-assembled per the classic format spec (all big-endian):
+  const unsigned char expected[] = {
+      'C', 'D', 'F', 0x01,          // magic
+      0, 0, 0, 0,                   // numrecs = 0
+      0, 0, 0, 0x0A,                // NC_DIMENSION
+      0, 0, 0, 1,                   // 1 dim
+      0, 0, 0, 1,                   // name length 1
+      'x', 0, 0, 0,                 // "x" padded
+      0, 0, 0, 2,                   // dim length 2
+      0, 0, 0, 0, 0, 0, 0, 0,       // gatt ABSENT
+      0, 0, 0, 0x0B,                // NC_VARIABLE
+      0, 0, 0, 1,                   // 1 var
+      0, 0, 0, 1,                   // name length 1
+      'v', 0, 0, 0,                 // "v" padded
+      0, 0, 0, 1,                   // ndims = 1
+      0, 0, 0, 0,                   // dimid 0
+      0, 0, 0, 0, 0, 0, 0, 0,       // vatt ABSENT
+      0, 0, 0, 5,                   // NC_FLOAT
+      0, 0, 0, 8,                   // vsize = 2 floats = 8
+      0, 0, 0, 0x50,                // begin = header size (80)
+  };
+  ASSERT_EQ(h.size(), sizeof(expected));
+  EXPECT_EQ(std::int64_t(h.size()), f.header_bytes());
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(std::uint8_t(h[i]), expected[i]) << "byte " << i;
+  }
+}
+
+TEST(RoundTripTest, AllVersions) {
+  for (const Version version :
+       {Version::kClassic, Version::k64BitOffset, Version::k64BitData}) {
+    const File f = make_volume_file(version, 8, 8, 8,
+                                    {"pressure", "density", "vx", "vy", "vz"},
+                                    /*record_z=*/version != Version::k64BitData);
+    const std::vector<std::byte> h = f.encode_header();
+    const File g = File::decode_header(h);
+    EXPECT_EQ(g.version(), f.version());
+    EXPECT_EQ(g.numrecs(), f.numrecs());
+    ASSERT_EQ(g.vars().size(), f.vars().size());
+    for (std::size_t i = 0; i < f.vars().size(); ++i) {
+      EXPECT_EQ(g.vars()[i].name, f.vars()[i].name);
+      EXPECT_EQ(g.vars()[i].begin, f.vars()[i].begin);
+      EXPECT_EQ(g.vars()[i].vsize, f.vars()[i].vsize);
+      EXPECT_EQ(g.vars()[i].is_record, f.vars()[i].is_record);
+    }
+    EXPECT_EQ(g.header_bytes(), f.header_bytes());
+    EXPECT_EQ(g.file_bytes(), f.file_bytes());
+  }
+}
+
+TEST(RoundTripTest, AttributesSurvive) {
+  Var v;
+  v.name = "temp";
+  v.dimids = {0};
+  v.attrs = {Attr::text("units", "kelvin")};
+  const float fv[] = {1.5f, -2.5f};
+  std::vector<Attr> gatts = {Attr::text("title", "hello world"),
+                             Attr::real("range", fv)};
+  const File f(Version::k64BitOffset, {{"x", 4}}, gatts, {v}, 0);
+  const File g = File::decode_header(f.encode_header());
+  ASSERT_EQ(g.global_attrs().size(), 2u);
+  EXPECT_EQ(g.global_attrs()[0].name, "title");
+  EXPECT_EQ(g.global_attrs()[1].nelems, 2);
+  ASSERT_EQ(g.vars()[0].attrs.size(), 1u);
+  EXPECT_EQ(g.vars()[0].attrs[0].name, "units");
+  // Text attr payload round-trips byte-for-byte.
+  const std::string text(
+      reinterpret_cast<const char*>(g.global_attrs()[0].values.data()),
+      g.global_attrs()[0].values.size());
+  EXPECT_EQ(text, "hello world");
+}
+
+TEST(RecordLayoutTest, RecordsInterleaveVariables) {
+  // Five record variables: within one record, var slices are consecutive;
+  // consecutive records are record_size apart (Fig 8's layout).
+  const std::int64_t n = 16;
+  const File f = make_volume_file(Version::k64BitOffset, n, n, n,
+                                  {"pressure", "density", "vx", "vy", "vz"},
+                                  /*record_z=*/true);
+  const std::int64_t slice = n * n * 4;
+  EXPECT_EQ(f.record_size(), 5 * slice);
+  EXPECT_EQ(f.numrecs(), n);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(f.data_offset(v, 0), f.header_bytes() + v * slice);
+    EXPECT_EQ(f.data_offset(v, 3) - f.data_offset(v, 2), f.record_size());
+  }
+  EXPECT_EQ(f.file_bytes(), f.header_bytes() + n * f.record_size());
+}
+
+TEST(RecordLayoutTest, SingleRecordVariableIsUnpadded) {
+  // Spec quirk: with exactly one record variable, vsize is not padded to 4.
+  Var v;
+  v.name = "b";
+  v.dimids = {0, 1};
+  v.type = NcType::kByte;  // 3 bytes per record, unpadded
+  const File f(Version::k64BitOffset, {{"t", 0}, {"x", 3}}, {}, {v}, 5);
+  EXPECT_EQ(f.vars()[0].vsize, 3);
+  EXPECT_EQ(f.record_size(), 3);
+}
+
+TEST(RecordLayoutTest, MultipleRecordVariablesArePadded) {
+  Var a, b;
+  a.name = "a";
+  a.dimids = {0, 1};
+  a.type = NcType::kByte;
+  b = a;
+  b.name = "b";
+  const File f(Version::k64BitOffset, {{"t", 0}, {"x", 3}}, {}, {a, b}, 2);
+  EXPECT_EQ(f.vars()[0].vsize, 4);  // 3 padded to 4
+  EXPECT_EQ(f.record_size(), 8);
+  EXPECT_EQ(f.vars()[1].begin - f.vars()[0].begin, 4);
+}
+
+TEST(NonRecordLayoutTest, VariablesAreContiguousInOrder) {
+  const std::int64_t n = 8;
+  const File f = make_volume_file(Version::k64BitData, n, n, n,
+                                  {"pressure", "density"},
+                                  /*record_z=*/false);
+  const std::int64_t var_bytes = n * n * n * 4;
+  EXPECT_EQ(f.vars()[0].begin, f.header_bytes());
+  EXPECT_EQ(f.vars()[1].begin, f.header_bytes() + var_bytes);
+  EXPECT_EQ(f.file_bytes(), f.header_bytes() + 2 * var_bytes);
+  EXPECT_EQ(f.record_size(), 0);
+}
+
+TEST(LimitTest, NonRecord4GiBLimitEnforcedInCdf2) {
+  // 1120^3 floats = 5.6 GB > 4 GiB: CDF-2 must reject it as a non-record
+  // variable (the paper: "forcing the scientists to use record variables"),
+  // CDF-5 must accept it.
+  EXPECT_THROW(make_volume_file(Version::k64BitOffset, 1120, 1120, 1120,
+                                {"pressure"}, /*record_z=*/false),
+               Error);
+  EXPECT_NO_THROW(make_volume_file(Version::k64BitData, 1120, 1120, 1120,
+                                   {"pressure"}, /*record_z=*/false));
+  // The same data as record variables fits fine in CDF-2.
+  EXPECT_NO_THROW(make_volume_file(Version::k64BitOffset, 1120, 1120, 1120,
+                                   {"pressure"}, /*record_z=*/true));
+}
+
+TEST(LimitTest, Cdf1OffsetLimit) {
+  // CDF-1 cannot place data beyond 4 GiB: three 2.2 GB variables fit
+  // individually under the vsize limit, but the third one's begin offset
+  // exceeds 32 bits, which only CDF-2+ can encode.
+  Var a;
+  a.name = "a";
+  a.dimids = {1, 2};
+  Var b = a, c = a;
+  b.name = "b";
+  c.name = "c";
+  const std::vector<Dim> dims = {{"t", 0}, {"y", 23000}, {"x", 24000}};
+  EXPECT_THROW(
+      File(Version::kClassic, dims, {}, {a, b, c}, 0).encode_header(),
+      Error);
+  EXPECT_NO_THROW(
+      File(Version::k64BitOffset, dims, {}, {a, b, c}, 0).encode_header());
+}
+
+TEST(PaperScaleTest, VH1FileSizeMatchesPaper) {
+  // The paper: a 1120^3 five-variable time step is ~27 GB in netCDF, one
+  // variable is 5.3 GB raw, and a record (one 2D slice) is ~5 MB.
+  const File f = make_volume_file(Version::k64BitOffset, 1120, 1120, 1120,
+                                  {"pressure", "density", "vx", "vy", "vz"},
+                                  /*record_z=*/true);
+  const double gb = double(f.file_bytes()) / 1e9;
+  EXPECT_NEAR(gb, 28.1, 0.5);  // 5 * 1120^3 * 4 bytes
+  EXPECT_NEAR(double(f.record_size()) / 5 / 1e6, 5.0, 0.1);
+}
+
+TEST(ErrorTest, BadMagicRejected) {
+  std::vector<std::byte> junk(64, std::byte{0});
+  junk[0] = std::byte{'H'};
+  EXPECT_THROW(File::decode_header(junk), Error);
+}
+
+TEST(ErrorTest, TruncatedHeaderRejected) {
+  const File f = make_volume_file(Version::kClassic, 4, 4, 4, {"v"}, true);
+  std::vector<std::byte> h = f.encode_header();
+  h.resize(h.size() / 2);
+  EXPECT_THROW(File::decode_header(h), Error);
+}
+
+TEST(ErrorTest, UnsupportedVersionByte) {
+  std::vector<std::byte> h(8, std::byte{0});
+  h[0] = std::byte{'C'};
+  h[1] = std::byte{'D'};
+  h[2] = std::byte{'F'};
+  h[3] = std::byte{7};
+  EXPECT_THROW(File::decode_header(h), Error);
+}
+
+TEST(ErrorTest, TwoRecordDimensionsRejected) {
+  EXPECT_THROW(File(Version::kClassic, {{"t", 0}, {"u", 0}}, {}, {}, 0),
+               Error);
+}
+
+TEST(ErrorTest, RecordDimMustBeFirst) {
+  Var v;
+  v.name = "v";
+  v.dimids = {1, 0};  // record dim second: illegal
+  EXPECT_THROW(File(Version::kClassic, {{"t", 0}, {"x", 4}}, {}, {v}, 0),
+               Error);
+}
+
+TEST(ErrorTest, UnknownVariableLookupThrows) {
+  const File f = make_volume_file(Version::kClassic, 4, 4, 4, {"v"}, true);
+  EXPECT_THROW((void)f.var_index("nope"), Error);
+  EXPECT_EQ(f.var_index("v"), 0);
+}
+
+}  // namespace
+}  // namespace pvr::format::netcdf

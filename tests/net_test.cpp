@@ -1,0 +1,183 @@
+// Unit tests for pvr::net — torus routing, exchange cost model, tree model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/partition.hpp"
+#include "net/torus.hpp"
+#include "net/tree.hpp"
+
+namespace pvr::net {
+namespace {
+
+machine::Partition make_partition(std::int64_t ranks) {
+  return machine::Partition(machine::MachineConfig{}, ranks);
+}
+
+TEST(TorusRoutingTest, HopCountMatchesTorusDistance) {
+  const auto part = make_partition(512 * 4);  // 8x8x8 nodes
+  const TorusModel torus(part);
+  for (std::int64_t a = 0; a < part.num_nodes(); a += 97) {
+    for (std::int64_t b = 0; b < part.num_nodes(); b += 131) {
+      std::int64_t visited = 0;
+      const std::int64_t hops =
+          torus.route(a, b, [&](const LinkId&) { ++visited; });
+      EXPECT_EQ(hops, visited);
+      EXPECT_EQ(hops, part.torus_hops(a, b));
+    }
+  }
+}
+
+TEST(TorusRoutingTest, RouteLinksFormAPath) {
+  const auto part = make_partition(512 * 4);
+  const TorusModel torus(part);
+  // Each visited link's source must be reachable: first link starts at a.
+  std::vector<LinkId> links;
+  torus.route(3, 400, [&](const LinkId& l) { links.push_back(l); });
+  ASSERT_FALSE(links.empty());
+  EXPECT_EQ(links.front().node, 3);
+}
+
+TEST(TorusRoutingTest, SelfRouteIsEmpty) {
+  const auto part = make_partition(64);
+  const TorusModel torus(part);
+  std::int64_t visited = 0;
+  EXPECT_EQ(torus.route(5, 5, [&](const LinkId&) { ++visited; }), 0);
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(TorusExchangeTest, EmptyExchangeIsFree) {
+  const auto part = make_partition(64);
+  const TorusModel torus(part);
+  const ExchangeCost cost = torus.exchange({});
+  EXPECT_DOUBLE_EQ(cost.seconds, 0.0);
+  EXPECT_EQ(cost.messages, 0);
+}
+
+TEST(TorusExchangeTest, LocalMessagesAreCheap) {
+  const auto part = make_partition(64);
+  const TorusModel torus(part);
+  // Ranks 0 and 1 share node 0.
+  const std::vector<Transfer> local = {{0, 1, 1 << 20}};
+  const std::vector<Transfer> remote = {{0, 63, 1 << 20}};
+  const ExchangeCost lc = torus.exchange(local);
+  const ExchangeCost rc = torus.exchange(remote);
+  EXPECT_EQ(lc.local_messages, 1);
+  EXPECT_EQ(rc.local_messages, 0);
+  EXPECT_LT(lc.seconds, rc.seconds);
+  EXPECT_EQ(lc.max_hops, 0);
+  EXPECT_GT(rc.max_hops, 0);
+}
+
+TEST(TorusExchangeTest, BytesAreConserved) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  std::vector<Transfer> transfers;
+  std::int64_t expect = 0;
+  for (std::int64_t r = 0; r < 256; r += 7) {
+    transfers.push_back({r, (r * 13 + 5) % 256, 1000 + r});
+    expect += 1000 + r;
+  }
+  const ExchangeCost cost = torus.exchange(transfers);
+  EXPECT_EQ(cost.total_bytes, expect);
+  EXPECT_EQ(cost.messages, std::int64_t(transfers.size()));
+}
+
+TEST(TorusExchangeTest, MoreBytesCostMore) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  const std::vector<Transfer> small = {{0, 255, 10 * 1024}};
+  const std::vector<Transfer> large = {{0, 255, 10 * 1024 * 1024}};
+  EXPECT_LT(torus.exchange(small).seconds, torus.exchange(large).seconds);
+}
+
+TEST(TorusExchangeTest, SmallMessageFloodCollapses) {
+  // The paper's core compositing observation: the same total bytes cost far
+  // more as many tiny messages than as few large ones.
+  const auto part = make_partition(4096);
+  const TorusModel torus(part);
+  std::vector<Transfer> few, many;
+  // 4096 messages of 64 KiB vs 64x more messages of 1 KiB (same bytes).
+  for (std::int64_t r = 0; r < 4096; ++r) {
+    few.push_back({r, (r + 1234) % 4096, 64 * 1024});
+    for (int j = 0; j < 64; ++j) {
+      many.push_back({r, (r * 64 + j * 67 + 1) % 4096, 1024});
+    }
+  }
+  const ExchangeCost cf = torus.exchange(few);
+  const ExchangeCost cm = torus.exchange(many);
+  EXPECT_EQ(cf.total_bytes, cm.total_bytes);
+  EXPECT_GT(cm.seconds, 2.0 * cf.seconds);
+  EXPECT_GT(cm.congestion_factor, cf.congestion_factor);
+}
+
+TEST(TorusExchangeTest, HotspotReceiverIsSlower) {
+  const auto part = make_partition(1024);
+  const TorusModel torus(part);
+  // Same message population, but one version converges on a single node.
+  std::vector<Transfer> spread, incast;
+  for (std::int64_t r = 4; r < 260; ++r) {
+    spread.push_back({r, (r + 512) % 1024, 32 * 1024});
+    incast.push_back({r, 0, 32 * 1024});
+  }
+  EXPECT_GT(torus.exchange(incast).seconds,
+            torus.exchange(spread).seconds);
+}
+
+TEST(TorusExchangeTest, MessageEfficiencyCurve) {
+  const auto part = make_partition(64);
+  const TorusModel torus(part);
+  EXPECT_DOUBLE_EQ(torus.message_efficiency(0), 1.0);
+  EXPECT_LT(torus.message_efficiency(256), torus.message_efficiency(4096));
+  EXPECT_GT(torus.message_efficiency(1 << 20), 0.99);
+}
+
+TEST(TorusExchangeTest, PeakBandwidthScalesWithNodes) {
+  const auto small = make_partition(256);
+  const auto large = make_partition(4096);
+  const TorusModel ts(small), tl(large);
+  EXPECT_GT(tl.peak_aggregate_bandwidth(65536),
+            ts.peak_aggregate_bandwidth(65536));
+  EXPECT_LT(tl.peak_aggregate_bandwidth(128),
+            tl.peak_aggregate_bandwidth(65536));
+}
+
+TEST(TorusExchangeTest, SkewGrowsWithPartition) {
+  const auto small = make_partition(64);
+  const auto large = make_partition(32768);
+  const std::vector<Transfer> one = {{0, 1, 0}};
+  // Both partitions place ranks 0,1 on node 0 -> local; the skew term still
+  // reflects partition size.
+  const ExchangeCost cs = TorusModel(small).exchange(one);
+  const ExchangeCost cl = TorusModel(large).exchange(one);
+  EXPECT_LT(cs.skew_seconds, cl.skew_seconds);
+}
+
+TEST(TreeModelTest, DepthAndBarrier) {
+  const auto part = make_partition(1024);  // 256 nodes -> depth 8
+  const TreeModel tree(part);
+  EXPECT_EQ(tree.depth(), 8);
+  EXPECT_DOUBLE_EQ(tree.barrier(),
+                   2.0 * 8 * part.config().tree_latency);
+}
+
+TEST(TreeModelTest, CollectiveCostsOrdering) {
+  const auto part = make_partition(1024);
+  const TreeModel tree(part);
+  // Reduce pays a combine derate over broadcast.
+  EXPECT_GT(tree.reduce(1 << 20), tree.broadcast(1 << 20));
+  // Allreduce costs at least a reduce.
+  EXPECT_GE(tree.allreduce(1 << 20), tree.reduce(1 << 20));
+  // Gather moves per-rank bytes times ranks through the root link.
+  EXPECT_GT(tree.gather(1024), tree.broadcast(1024));
+  EXPECT_DOUBLE_EQ(tree.gather(64), tree.scatter(64));
+}
+
+TEST(TreeModelTest, SingleNodeDepthIsOne) {
+  const auto part = make_partition(1);
+  const TreeModel tree(part);
+  EXPECT_EQ(tree.depth(), 1);
+}
+
+}  // namespace
+}  // namespace pvr::net

@@ -1,0 +1,173 @@
+// End-to-end pipeline tests: execute-mode frames against serial references
+// for every storage format, model-mode frame statistics, and configuration
+// validation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "data/writers.hpp"
+
+namespace pvr::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::temp_directory_path() / "pvr_pipeline_test") {
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+ExperimentConfig small_config(format::FileFormat fmt, std::int64_t ranks) {
+  ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(fmt, 24);
+  cfg.variable = cfg.dataset.variables.front();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  cfg.render.step_voxels = 1.0;
+  cfg.render.early_termination = 1.0;
+  cfg.composite.policy = compose::CompositorPolicy::kOriginal;
+  return cfg;
+}
+
+Image serial_reference(const ExperimentConfig& cfg) {
+  Brick whole(Box3i{{0, 0, 0}, cfg.dataset.dims});
+  data::SupernovaField(1530).fill_brick(
+      data::variable_from_name(cfg.variable), cfg.dataset.dims, &whole);
+  const render::Raycaster rc(cfg.dataset.dims, cfg.render);
+  const render::Camera cam = render::Camera::default_view(
+      cfg.dataset.dims, cfg.image_width, cfg.image_height);
+  return rc.render_full(whole, cam,
+                        render::TransferFunction::supernova());
+}
+
+class ExecuteFrameFormats
+    : public ::testing::TestWithParam<format::FileFormat> {};
+
+TEST_P(ExecuteFrameFormats, FullPipelineMatchesSerialRendering) {
+  TempDir dir;
+  const ExperimentConfig cfg = small_config(GetParam(), 8);
+  const std::string path = dir.file("vol.dat");
+  data::write_supernova_file(cfg.dataset, path, 1530);
+
+  ParallelVolumeRenderer pvr(cfg);
+  Image out;
+  const FrameStats stats = pvr.execute_frame(path, &out);
+
+  const Image reference = serial_reference(cfg);
+  EXPECT_LT(out.max_difference(reference), 2e-3f)
+      << "format " << format_name(GetParam());
+
+  EXPECT_GT(stats.io_seconds, 0.0);
+  EXPECT_GT(stats.render_seconds, 0.0);
+  EXPECT_GT(stats.composite_seconds, 0.0);
+  EXPECT_GT(stats.render.total_samples, 0);
+  EXPECT_NEAR(stats.pct_io() + stats.pct_render() + stats.pct_composite(),
+              100.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, ExecuteFrameFormats,
+                         ::testing::Values(format::FileFormat::kRaw,
+                                           format::FileFormat::kNetcdfRecord,
+                                           format::FileFormat::kNetcdf64,
+                                           format::FileFormat::kShdf));
+
+TEST(ExecuteFrameTest, NonPowerOfTwoRanks) {
+  TempDir dir;
+  const ExperimentConfig cfg = small_config(format::FileFormat::kRaw, 12);
+  const std::string path = dir.file("vol.raw");
+  data::write_supernova_file(cfg.dataset, path, 1530);
+  ParallelVolumeRenderer pvr(cfg);
+  Image out;
+  pvr.execute_frame(path, &out);
+  EXPECT_LT(out.max_difference(serial_reference(cfg)), 2e-3f);
+}
+
+TEST(ExecuteFrameTest, ImprovedPolicySameImage) {
+  TempDir dir;
+  ExperimentConfig cfg = small_config(format::FileFormat::kRaw, 27);
+  cfg.composite.policy = compose::CompositorPolicy::kFixed;
+  cfg.composite.fixed_compositors = 3;
+  const std::string path = dir.file("vol.raw");
+  data::write_supernova_file(cfg.dataset, path, 1530);
+  ParallelVolumeRenderer pvr(cfg);
+  Image out;
+  const FrameStats stats = pvr.execute_frame(path, &out);
+  EXPECT_EQ(stats.composite.num_compositors, 3);
+  EXPECT_LT(out.max_difference(serial_reference(cfg)), 2e-3f);
+}
+
+TEST(ModelFrameTest, PaperScaleRunsAndIsConsistent) {
+  ExperimentConfig cfg;
+  cfg.num_ranks = 4096;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 1120);
+  cfg.image_width = cfg.image_height = 1600;
+  ParallelVolumeRenderer pvr(cfg);
+  const FrameStats stats = pvr.model_frame();
+  EXPECT_GT(stats.io_seconds, 0.0);
+  EXPECT_GT(stats.render_seconds, 0.0);
+  EXPECT_GT(stats.composite_seconds, 0.0);
+  // Useful bytes ~ 5.3 GB plus ghost overlap.
+  EXPECT_GT(double(stats.io.useful_bytes), 5.6e9);
+  EXPECT_LT(double(stats.io.useful_bytes), 6.5e9);
+  EXPECT_GT(stats.read_bandwidth(), 0.0);
+}
+
+TEST(ModelFrameTest, MoreRanksRenderFaster) {
+  ExperimentConfig small;
+  small.num_ranks = 64;
+  small.dataset = format::supernova_desc(format::FileFormat::kRaw, 1120);
+  ExperimentConfig large = small;
+  large.num_ranks = 8192;
+  const double t_small =
+      ParallelVolumeRenderer(small).model_render().seconds;
+  const double t_large =
+      ParallelVolumeRenderer(large).model_render().seconds;
+  EXPECT_GT(t_small, 50.0 * t_large);
+}
+
+TEST(ModelFrameTest, BinarySwapModelRuns) {
+  ExperimentConfig cfg;
+  cfg.num_ranks = 1024;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 256);
+  ParallelVolumeRenderer pvr(cfg);
+  const auto bs = pvr.model_binary_swap();
+  EXPECT_EQ(bs.messages, 1024 * 10);  // n log2 n
+  EXPECT_GT(bs.seconds, 0.0);
+}
+
+TEST(ConfigTest, InvalidConfigsThrow) {
+  ExperimentConfig cfg = small_config(format::FileFormat::kRaw, 0);
+  EXPECT_THROW(ParallelVolumeRenderer{cfg}, Error);
+  ExperimentConfig cfg2 = small_config(format::FileFormat::kRaw, 4);
+  cfg2.variable = "nope";
+  EXPECT_THROW(ParallelVolumeRenderer{cfg2}, Error);
+  ExperimentConfig cfg3 = small_config(format::FileFormat::kRaw, 4);
+  cfg3.camera = render::Camera::default_view(cfg3.dataset.dims, 10, 10);
+  EXPECT_THROW(ParallelVolumeRenderer{cfg3}, Error);  // size mismatch
+}
+
+TEST(ConfigTest, BlocksCoverVolumeWithGhost) {
+  const ExperimentConfig cfg = small_config(format::FileFormat::kRaw, 8);
+  ParallelVolumeRenderer pvr(cfg);
+  const auto blocks = pvr.io_blocks();
+  ASSERT_EQ(blocks.size(), 8u);
+  for (const auto& b : blocks) {
+    EXPECT_FALSE(b.box.empty());
+  }
+  const auto infos = pvr.screen_blocks();
+  ASSERT_EQ(infos.size(), 8u);
+}
+
+}  // namespace
+}  // namespace pvr::core

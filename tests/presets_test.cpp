@@ -1,0 +1,92 @@
+// Tests for machine presets and cross-machine model behaviour.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "machine/presets.hpp"
+
+namespace pvr::machine {
+namespace {
+
+TEST(PresetsTest, AllPresetsAreValid) {
+  EXPECT_TRUE(valid(presets::bluegene_p()));
+  EXPECT_TRUE(valid(presets::cray_xt4()));
+  EXPECT_TRUE(valid(presets::bgp_pvfs()));
+  EXPECT_TRUE(valid(presets::lustre()));
+}
+
+TEST(PresetsTest, BlueGeneIsTheDefault) {
+  const MachineConfig def;
+  const MachineConfig bgp = presets::bluegene_p();
+  EXPECT_EQ(bgp.cores_per_node, def.cores_per_node);
+  EXPECT_DOUBLE_EQ(bgp.torus_link_bw, def.torus_link_bw);
+  EXPECT_DOUBLE_EQ(bgp.samples_per_second, def.samples_per_second);
+}
+
+TEST(PresetsTest, CrayHasFasterCoresAndLinks) {
+  const MachineConfig bgp = presets::bluegene_p();
+  const MachineConfig xt = presets::cray_xt4();
+  EXPECT_GT(xt.core_hz, bgp.core_hz);
+  EXPECT_GT(xt.torus_link_bw, bgp.torus_link_bw);
+  EXPECT_GT(xt.samples_per_second, bgp.samples_per_second);
+  EXPECT_LT(xt.msg_overhead, bgp.msg_overhead);
+}
+
+TEST(PresetsTest, CrayRendersProportionallyFaster) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = 4096;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 1120);
+  cfg.image_width = cfg.image_height = 1600;
+
+  core::ParallelVolumeRenderer bgp(cfg);
+  cfg.machine = presets::cray_xt4();
+  cfg.storage = presets::lustre();
+  core::ParallelVolumeRenderer xt(cfg);
+
+  const double bgp_render = bgp.model_render().seconds;
+  const double xt_render = xt.model_render().seconds;
+  const double clock_ratio = presets::cray_xt4().core_hz /
+                             presets::bluegene_p().core_hz;
+  EXPECT_NEAR(bgp_render / xt_render, clock_ratio, 0.1);
+}
+
+TEST(PresetsTest, CrayCollapsesLaterThanBlueGene) {
+  // Lower per-message cost and larger FIFOs push the original direct-send
+  // collapse to higher core counts.
+  const auto orig_composite = [](const MachineConfig& m, std::int64_t p) {
+    core::ExperimentConfig cfg;
+    cfg.num_ranks = p;
+    cfg.machine = m;
+    cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 1120);
+    cfg.image_width = cfg.image_height = 1600;
+    core::ParallelVolumeRenderer renderer(cfg);
+    return renderer
+        .model_composite(compose::CompositorPolicy::kOriginal)
+        .seconds;
+  };
+  const double bgp_32k = orig_composite(presets::bluegene_p(), 32768);
+  const double xt_32k = orig_composite(presets::cray_xt4(), 32768);
+  EXPECT_LT(xt_32k, bgp_32k);
+}
+
+TEST(PresetsTest, LustreDiffersFromPvfs) {
+  const StorageConfig pvfs = presets::bgp_pvfs();
+  const StorageConfig lfs = presets::lustre();
+  EXPECT_NE(pvfs.stripe_bytes, lfs.stripe_bytes);
+  EXPECT_GT(lfs.ion_bw, pvfs.ion_bw);
+}
+
+TEST(PresetsTest, EndToEndFrameOnCrayRuns) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = 8192;
+  cfg.machine = presets::cray_xt4();
+  cfg.storage = presets::lustre();
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 1120);
+  cfg.image_width = cfg.image_height = 1600;
+  core::ParallelVolumeRenderer renderer(cfg);
+  const core::FrameStats f = renderer.model_frame();
+  EXPECT_GT(f.total_seconds(), 0.0);
+  EXPECT_GT(f.pct_io(), 50.0);  // I/O still dominates
+}
+
+}  // namespace
+}  // namespace pvr::machine

@@ -1,0 +1,181 @@
+// Tests for radix-k compositing: factorization, equivalence with the serial
+// reference / direct-send, degeneration to binary swap and direct-send, and
+// model-mode behaviour.
+#include <gtest/gtest.h>
+
+#include "compose/binary_swap.hpp"
+#include "compose/direct_send.hpp"
+#include "compose/radix_k.hpp"
+#include "data/synthetic.hpp"
+#include "render/decomposition.hpp"
+#include "render/raycaster.hpp"
+
+namespace pvr::compose {
+namespace {
+
+TEST(RadixFactorTest, FactorsCorrectly) {
+  EXPECT_EQ(RadixKCompositor::factor(32768, 8),
+            (std::vector<int>{8, 8, 8, 8, 8}));
+  EXPECT_EQ(RadixKCompositor::factor(8, 2), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(RadixKCompositor::factor(48, 4), (std::vector<int>{4, 4, 3}));
+  EXPECT_EQ(RadixKCompositor::factor(9, 4), (std::vector<int>{3, 3}));
+  EXPECT_EQ(RadixKCompositor::factor(1, 2), (std::vector<int>{1}));
+  // Prime remainder larger than k becomes one big round.
+  EXPECT_EQ(RadixKCompositor::factor(14, 4), (std::vector<int>{2, 7}));
+}
+
+TEST(RadixFactorTest, ProductAlwaysN) {
+  for (std::int64_t n : {std::int64_t(6), std::int64_t(64),
+                         std::int64_t(100), std::int64_t(4096)}) {
+    for (int k : {2, 3, 4, 8, 16}) {
+      std::int64_t product = 1;
+      for (const int f : RadixKCompositor::factor(n, k)) product *= f;
+      EXPECT_EQ(product, n) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RadixKTest, InvalidRadicesRejected) {
+  machine::Partition part(machine::MachineConfig{}, 8);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  EXPECT_THROW(RadixKCompositor(rt, CompositeConfig{}, {2, 2}), Error);
+  EXPECT_THROW(RadixKCompositor(rt, CompositeConfig{}, {}), Error);
+  EXPECT_THROW(RadixKCompositor(rt, CompositeConfig{}, {8, 0}), Error);
+}
+
+// ---- Execute-mode equivalence ----
+
+struct Scene {
+  Vec3i dims{24, 24, 24};
+  render::RenderConfig cfg;
+  render::TransferFunction tf = render::TransferFunction::supernova();
+  int width = 48, height = 48;
+
+  Scene() {
+    cfg.step_voxels = 1.0;
+    cfg.early_termination = 1.0;
+  }
+
+  void render_blocks(std::int64_t ranks, const render::Camera& cam,
+                     std::vector<BlockScreenInfo>* infos,
+                     std::vector<render::SubImage>* subs) const {
+    const render::Decomposition d(dims, ranks);
+    const render::Raycaster rc(dims, cfg);
+    const data::SupernovaField field(9);
+    for (std::int64_t b = 0; b < d.num_blocks(); ++b) {
+      const Box3i owned = d.block_box(b);
+      Brick brick(d.ghost_box(b, 1));
+      field.fill_brick(data::Variable::kPressure, dims, &brick);
+      render::SubImage sub = rc.render_block(brick, owned, cam, tf);
+      const Box3d wb = render::world_box_of(owned, dims);
+      infos->push_back(BlockScreenInfo{
+          b, sub.rect,
+          cam.depth_of({wb.center().x, wb.center().y, wb.center().z})});
+      subs->push_back(std::move(sub));
+    }
+  }
+};
+
+class RadixEquivalence
+    : public ::testing::TestWithParam<std::pair<std::int64_t, int>> {};
+
+TEST_P(RadixEquivalence, MatchesDirectSend) {
+  const auto [ranks, radix] = GetParam();
+  Scene scene;
+  const render::Camera cam =
+      render::Camera::default_view(scene.dims, scene.width, scene.height);
+  std::vector<BlockScreenInfo> infos;
+  std::vector<render::SubImage> subs;
+  scene.render_blocks(ranks, cam, &infos, &subs);
+
+  machine::Partition part(machine::MachineConfig{}, ranks);
+  runtime::Runtime rt(part, runtime::Mode::kExecute);
+
+  Image reference;
+  CompositeConfig cc;
+  cc.policy = CompositorPolicy::kOriginal;
+  DirectSendCompositor(rt, cc).execute(infos, subs, scene.width,
+                                       scene.height, &reference);
+
+  Image img;
+  RadixKCompositor radixk(rt, cc, RadixKCompositor::factor(ranks, radix));
+  const CompositeStats stats =
+      radixk.execute(infos, subs, scene.width, scene.height, &img);
+  EXPECT_GT(stats.messages, 0);
+  EXPECT_LT(img.max_difference(reference), 1e-3f)
+      << "ranks=" << ranks << " radix=" << radix;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixEquivalence,
+    ::testing::Values(std::make_pair(std::int64_t(8), 2),
+                      std::make_pair(std::int64_t(8), 4),
+                      std::make_pair(std::int64_t(8), 8),
+                      std::make_pair(std::int64_t(27), 3),
+                      std::make_pair(std::int64_t(12), 4),
+                      std::make_pair(std::int64_t(16), 4),
+                      std::make_pair(std::int64_t(64), 8)));
+
+TEST(RadixKTest, Radix2MatchesBinarySwapMessageStructure) {
+  // radix-k with all-2 rounds is binary swap: identical message counts and
+  // bytes at every scale in the model.
+  const std::int64_t n = 1024;
+  machine::Partition part(machine::MachineConfig{}, n);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  std::vector<BlockScreenInfo> blocks(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    blocks[std::size_t(i)] = BlockScreenInfo{
+        i, Rect{0, 0, 256, 256}, double(i % 37)};
+  }
+  CompositeConfig cc;
+  const auto bs = BinarySwapCompositor(rt, cc).model(blocks, 256, 256);
+  const auto rk = RadixKCompositor(rt, cc, RadixKCompositor::factor(n, 2))
+                      .model(blocks, 256, 256);
+  EXPECT_EQ(rk.messages, bs.messages);
+  EXPECT_EQ(rk.bytes, bs.bytes);
+}
+
+TEST(RadixKTest, SingleRoundHasDirectSendMessageCount) {
+  // One round of radix n: every rank sends n-1 pieces (all-to-all within
+  // one group) — the direct-send communication structure.
+  const std::int64_t n = 64;
+  machine::Partition part(machine::MachineConfig{}, n);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  std::vector<BlockScreenInfo> blocks(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    blocks[std::size_t(i)] = BlockScreenInfo{i, Rect{0, 0, 64, 64},
+                                             double(i)};
+  }
+  const auto rk =
+      RadixKCompositor(rt, CompositeConfig{}, {int(n)}).model(blocks, 64, 64);
+  EXPECT_EQ(rk.messages, n * (n - 1));
+}
+
+TEST(RadixKTest, IntermediateRadixBeatsExtremesAtScale) {
+  // The radix-k result: at large scale some k between 2 (binary swap) and n
+  // (direct-send-like) minimizes compositing time.
+  const std::int64_t n = 16384;
+  machine::Partition part(machine::MachineConfig{}, n);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  std::vector<BlockScreenInfo> blocks(static_cast<std::size_t>(n));
+  // Direct-send-like footprints: small rects spread over the image.
+  const std::int64_t side = 1600;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int x = int((i * 61) % (side - 80));
+    const int y = int((i * 127) % (side - 80));
+    blocks[std::size_t(i)] =
+        BlockScreenInfo{i, Rect{x, y, x + 64, y + 64}, double(i % 101)};
+  }
+  CompositeConfig cc;
+  const auto time_for = [&](int k) {
+    return RadixKCompositor(rt, cc, RadixKCompositor::factor(n, k))
+        .model(blocks, int(side), int(side))
+        .seconds;
+  };
+  const double t2 = time_for(2);
+  const double t8 = time_for(8);
+  EXPECT_LT(t8, t2);  // fewer rounds beat binary swap
+}
+
+}  // namespace
+}  // namespace pvr::compose

@@ -1,0 +1,149 @@
+// Unit tests for pvr::runtime — superstep exchanges, delivery order,
+// collectives, ledger accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "machine/partition.hpp"
+#include "runtime/runtime.hpp"
+
+namespace pvr::runtime {
+namespace {
+
+machine::Partition make_partition(std::int64_t ranks) {
+  return machine::Partition(machine::MachineConfig{}, ranks);
+}
+
+Payload make_payload(const std::string& s) {
+  Payload p(s.size());
+  std::memcpy(p.data(), s.data(), s.size());
+  return p;
+}
+
+std::string payload_str(const Payload& p) {
+  return std::string(reinterpret_cast<const char*>(p.data()), p.size());
+}
+
+TEST(RuntimeTest, DeliversPayloadsToDestinations) {
+  const auto part = make_partition(8);
+  Runtime rt(part, Mode::kExecute);
+  std::map<std::int64_t, std::vector<std::string>> received;
+  rt.exchange(
+      [&](std::int64_t rank, Sender& out) {
+        out.send((rank + 1) % 8, 0, make_payload("from " + std::to_string(rank)));
+      },
+      [&](std::int64_t rank, std::span<const Message> inbox) {
+        for (const Message& m : inbox) {
+          received[rank].push_back(payload_str(m.payload));
+        }
+      });
+  ASSERT_EQ(received.size(), 8u);
+  EXPECT_EQ(received[0].at(0), "from 7");
+  EXPECT_EQ(received[5].at(0), "from 4");
+}
+
+TEST(RuntimeTest, DeliveryOrderIsDeterministic) {
+  const auto part = make_partition(16);
+  Runtime rt(part, Mode::kExecute);
+  std::vector<std::int64_t> sources;
+  rt.exchange(
+      [&](std::int64_t rank, Sender& out) {
+        if (rank != 3) out.send(3, int(rank), Payload{});
+      },
+      [&](std::int64_t rank, std::span<const Message> inbox) {
+        EXPECT_EQ(rank, 3);
+        for (const Message& m : inbox) sources.push_back(m.src_rank);
+      });
+  // Sorted by src rank.
+  EXPECT_TRUE(std::is_sorted(sources.begin(), sources.end()));
+  EXPECT_EQ(sources.size(), 15u);
+}
+
+TEST(RuntimeTest, ByteConservation) {
+  const auto part = make_partition(32);
+  Runtime rt(part, Mode::kModel);
+  std::int64_t sent = 0, received = 0;
+  const auto cost = rt.exchange(
+      [&](std::int64_t rank, Sender& out) {
+        const std::int64_t bytes = 100 + rank;
+        out.send((rank * 7 + 3) % 32, 0, bytes);
+        sent += bytes;
+      },
+      [&](std::int64_t, std::span<const Message> inbox) {
+        for (const Message& m : inbox) received += m.bytes;
+      });
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(cost.total_bytes, sent);
+}
+
+TEST(RuntimeTest, ModelModeAllowsSizedMessages) {
+  const auto part = make_partition(4);
+  Runtime rt(part, Mode::kModel);
+  const auto cost = rt.exchange(
+      [](std::int64_t rank, Sender& out) {
+        out.send((rank + 1) % 4, 0, 1 << 20);
+      },
+      nullptr);
+  EXPECT_EQ(cost.messages, 4);
+  EXPECT_EQ(cost.total_bytes, 4 << 20);
+  EXPECT_GT(cost.seconds, 0.0);
+}
+
+TEST(RuntimeTest, SendValidatesDestination) {
+  const auto part = make_partition(4);
+  Runtime rt(part, Mode::kModel);
+  EXPECT_THROW(rt.exchange(
+                   [](std::int64_t, Sender& out) { out.send(99, 0, 10); },
+                   nullptr),
+               Error);
+}
+
+TEST(RuntimeTest, ComputeChargesTheStraggler) {
+  const auto part = make_partition(8);
+  Runtime rt(part, Mode::kModel);
+  const double t = rt.compute([](std::int64_t rank) {
+    return rank == 5 ? 2.0 : 0.5;
+  });
+  EXPECT_DOUBLE_EQ(t, 2.0);
+  EXPECT_DOUBLE_EQ(rt.ledger().compute, 2.0);
+}
+
+TEST(RuntimeTest, LedgerAccumulatesByCategory) {
+  const auto part = make_partition(8);
+  Runtime rt(part, Mode::kModel);
+  rt.compute([](std::int64_t) { return 1.0; });
+  rt.barrier();
+  rt.allreduce(1024);
+  rt.exchange([](std::int64_t r, Sender& out) { out.send((r + 1) % 8, 0, 64); },
+              nullptr);
+  EXPECT_DOUBLE_EQ(rt.ledger().compute, 1.0);
+  EXPECT_GT(rt.ledger().collective, 0.0);
+  EXPECT_GT(rt.ledger().exchange, 0.0);
+  const double total = rt.ledger().total();
+  rt.reset_ledger();
+  EXPECT_DOUBLE_EQ(rt.ledger().total(), 0.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(RuntimeTest, ExchangeMessagesPricesExplicitList) {
+  const auto part = make_partition(16);
+  Runtime rt(part, Mode::kModel);
+  std::vector<Message> msgs;
+  msgs.push_back(Message{0, 15, 0, 4096, {}});
+  msgs.push_back(Message{1, 14, 0, 4096, {}});
+  const auto cost = rt.exchange_messages(std::move(msgs));
+  EXPECT_EQ(cost.messages, 2);
+  EXPECT_EQ(cost.total_bytes, 8192);
+}
+
+TEST(RuntimeTest, CollectiveCostsScaleWithBytes) {
+  const auto part = make_partition(64);
+  Runtime rt(part, Mode::kModel);
+  EXPECT_LT(rt.broadcast(1024), rt.broadcast(100 << 20));
+  EXPECT_LT(rt.gather(16), rt.gather(1 << 20));
+}
+
+}  // namespace
+}  // namespace pvr::runtime

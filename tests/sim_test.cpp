@@ -1,0 +1,107 @@
+// Unit tests for pvr::sim — clock, discrete-event queue, serial resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+
+namespace pvr::sim {
+namespace {
+
+TEST(ClockTest, AdvancesMonotonically) {
+  Clock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  EXPECT_DOUBLE_EQ(c.advance(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(c.advance(0.0), 1.5);
+  c.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> seen;
+  q.schedule_at(2.0, [&](EventQueue&) { seen.push_back(2); });
+  q.schedule_at(1.0, [&](EventQueue&) { seen.push_back(1); });
+  q.schedule_at(3.0, [&](EventQueue&) { seen.push_back(3); });
+  const double end = q.run();
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> seen;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&, i](EventQueue&) { seen.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_at(1.0, [&](EventQueue& qq) {
+    times.push_back(qq.now());
+    qq.schedule_in(0.5, [&](EventQueue& q3) { times.push_back(q3.now()); });
+  });
+  q.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&](EventQueue&) { ++fired; });
+  q.schedule_at(5.0, [&](EventQueue&) { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SerialResourceTest, QueuesBackToBack) {
+  SerialResource r;
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 2.0), 2.0);
+  // Arrives while busy: starts when free.
+  EXPECT_DOUBLE_EQ(r.acquire(1.0, 3.0), 5.0);
+  // Arrives after idle: starts immediately.
+  EXPECT_DOUBLE_EQ(r.acquire(10.0, 1.0), 11.0);
+  EXPECT_EQ(r.requests(), 3);
+  EXPECT_DOUBLE_EQ(r.total_service(), 6.0);
+}
+
+TEST(SerialResourceTest, ResetClearsState) {
+  SerialResource r;
+  r.acquire(0.0, 5.0);
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.busy_until(), 0.0);
+  EXPECT_EQ(r.requests(), 0);
+}
+
+TEST(ResourceBankTest, TracksWorstMember) {
+  ResourceBank bank(3);
+  bank.acquire_on(0, 0.0, 1.0);
+  bank.acquire_on(1, 0.0, 5.0);
+  bank.acquire_on(1, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(bank.all_idle_time(), 7.0);
+  EXPECT_DOUBLE_EQ(bank.max_total_service(), 7.0);
+  bank.reset();
+  EXPECT_DOUBLE_EQ(bank.all_idle_time(), 0.0);
+}
+
+TEST(ResourceBankTest, EmptyBankRejected) {
+  EXPECT_THROW(ResourceBank bank(0), Error);
+}
+
+}  // namespace
+}  // namespace pvr::sim

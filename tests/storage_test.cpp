@@ -1,0 +1,163 @@
+// Tests for the parallel file system model and access logs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "machine/partition.hpp"
+#include "storage/access_log.hpp"
+#include "storage/storage_model.hpp"
+
+namespace pvr::storage {
+namespace {
+
+machine::Partition make_partition(std::int64_t ranks) {
+  return machine::Partition(machine::MachineConfig{}, ranks);
+}
+
+TEST(StorageModelTest, ServerStriping) {
+  const auto part = make_partition(64);
+  machine::StorageConfig cfg;
+  cfg.stripe_bytes = 1024;
+  cfg.num_servers = 4;
+  const StorageModel sm(part, cfg);
+  EXPECT_EQ(sm.server_of(0), 0);
+  EXPECT_EQ(sm.server_of(1023), 0);
+  EXPECT_EQ(sm.server_of(1024), 1);
+  EXPECT_EQ(sm.server_of(4096), 0);  // wraps around
+}
+
+TEST(StorageModelTest, EmptyBatchIsFree) {
+  const auto part = make_partition(64);
+  const StorageModel sm(part, machine::StorageConfig{});
+  const IoCost cost = sm.read_cost({});
+  EXPECT_DOUBLE_EQ(cost.seconds, 0.0);
+  EXPECT_EQ(cost.accesses, 0);
+}
+
+TEST(StorageModelTest, CostIncludesStartup) {
+  const auto part = make_partition(64);
+  machine::StorageConfig cfg;
+  const StorageModel sm(part, cfg);
+  const std::vector<PhysicalAccess> one = {{0, 4096, 0}};
+  const IoCost cost = sm.read_cost(one);
+  EXPECT_GE(cost.seconds, cfg.client_startup);
+  EXPECT_EQ(cost.physical_bytes, 4096);
+  EXPECT_EQ(cost.accesses, 1);
+}
+
+TEST(StorageModelTest, ManySmallAccessesCostMoreThanFewLarge) {
+  const auto part = make_partition(256);
+  const StorageModel sm(part, machine::StorageConfig{});
+  std::vector<PhysicalAccess> small, large;
+  const std::int64_t total = 64 << 20;
+  for (int i = 0; i < 4096; ++i) {
+    small.push_back({std::int64_t(i) * (total / 4096), total / 4096,
+                     std::int64_t(i) % 256});
+  }
+  for (int i = 0; i < 4; ++i) {
+    large.push_back({std::int64_t(i) * (total / 4), total / 4,
+                     std::int64_t(i) * 64});
+  }
+  EXPECT_GT(sm.read_cost(small).seconds, sm.read_cost(large).seconds);
+}
+
+TEST(StorageModelTest, AggregateCapBindsAtScale) {
+  // A huge contiguous read from many clients saturates the aggregate cap,
+  // not the per-server or ION terms.
+  const auto part = make_partition(32768);
+  machine::StorageConfig cfg;
+  const StorageModel sm(part, cfg);
+  std::vector<PhysicalAccess> accesses;
+  const std::int64_t chunk = 16 << 20;
+  for (int i = 0; i < 1024; ++i) {
+    accesses.push_back({std::int64_t(i) * chunk, chunk,
+                        std::int64_t(i) * 32});
+  }
+  const IoCost cost = sm.read_cost(accesses);
+  EXPECT_GT(cost.cap_seconds, cost.ion_seconds);
+  const double bw = cost.bandwidth();
+  EXPECT_LT(bw, sm.aggregate_cap() * 1.05);
+  EXPECT_GT(bw, sm.aggregate_cap() * 0.5);
+}
+
+TEST(StorageModelTest, AggregateCapGrowsWithIons) {
+  machine::StorageConfig cfg;
+  const auto small = make_partition(64);     // 1 ION
+  const auto large = make_partition(32768);  // 128 IONs
+  const StorageModel ssmall(small, cfg), slarge(large, cfg);
+  EXPECT_NEAR(ssmall.aggregate_cap(), cfg.cap_base, 1.0);
+  EXPECT_GT(slarge.aggregate_cap(), 2.0 * ssmall.aggregate_cap());
+  EXPECT_LT(slarge.aggregate_cap(), 10.0 * ssmall.aggregate_cap());
+}
+
+TEST(StorageModelTest, SingleIonBindsAtSmallScale) {
+  // 64 ranks sit behind one ION: the bridge serializes everything.
+  const auto part = make_partition(64);
+  machine::StorageConfig cfg;
+  const StorageModel sm(part, cfg);
+  std::vector<PhysicalAccess> accesses;
+  const std::int64_t chunk = 16 << 20;
+  for (int i = 0; i < 64; ++i) {
+    accesses.push_back({std::int64_t(i) * chunk, chunk, std::int64_t(i)});
+  }
+  const IoCost cost = sm.read_cost(accesses);
+  EXPECT_GT(cost.ion_seconds, cost.cap_seconds);
+  EXPECT_NEAR(cost.bandwidth(), cfg.ion_bw, cfg.ion_bw * 0.3);
+}
+
+TEST(StorageModelTest, ZeroByteAccessesIgnored) {
+  const auto part = make_partition(64);
+  const StorageModel sm(part, machine::StorageConfig{});
+  const std::vector<PhysicalAccess> accesses = {{0, 0, 0}, {100, 0, 1}};
+  const IoCost cost = sm.read_cost(accesses);
+  EXPECT_EQ(cost.accesses, 0);
+  EXPECT_EQ(cost.physical_bytes, 0);
+}
+
+TEST(AccessLogTest, StatsAccumulate) {
+  AccessLog log;
+  log.record({0, 100, 0});
+  log.record({200, 300, 1});
+  log.set_useful_bytes(200);
+  const AccessStats s = log.stats();
+  EXPECT_EQ(s.accesses, 2);
+  EXPECT_EQ(s.physical_bytes, 400);
+  EXPECT_DOUBLE_EQ(s.mean_access_bytes(), 200.0);
+  EXPECT_DOUBLE_EQ(s.data_density(), 0.5);
+  log.clear();
+  EXPECT_EQ(log.stats().accesses, 0);
+}
+
+TEST(AccessLogTest, CoverageFractions) {
+  AccessLog log;
+  // Touch the first half of a 1000-byte file.
+  log.record({0, 500, 0});
+  const std::vector<double> cov = log.coverage(1000, 10);
+  ASSERT_EQ(cov.size(), 10u);
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(cov[std::size_t(i)], 1.0, 1e-9);
+  for (int i = 5; i < 10; ++i) EXPECT_NEAR(cov[std::size_t(i)], 0.0, 1e-9);
+}
+
+TEST(AccessLogTest, CoverageClampsOverlaps) {
+  AccessLog log;
+  log.record({0, 100, 0});
+  log.record({0, 100, 1});  // same region twice
+  const std::vector<double> cov = log.coverage(100, 1);
+  EXPECT_DOUBLE_EQ(cov[0], 1.0);
+}
+
+TEST(AccessLogTest, WritesCoveragePgm) {
+  namespace fs = std::filesystem;
+  AccessLog log;
+  log.record({0, 5000, 0});
+  const fs::path dir = fs::temp_directory_path() / "pvr_storage_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "cov.pgm").string();
+  log.write_coverage_pgm(10000, 8, 8, path);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_GT(fs::file_size(path), 64u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pvr::storage
