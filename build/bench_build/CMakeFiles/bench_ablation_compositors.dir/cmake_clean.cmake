@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_compositors"
+  "../bench/bench_ablation_compositors.pdb"
+  "CMakeFiles/bench_ablation_compositors.dir/bench_ablation_compositors.cpp.o"
+  "CMakeFiles/bench_ablation_compositors.dir/bench_ablation_compositors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compositors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_insitu"
+  "../bench/bench_ablation_insitu.pdb"
+  "CMakeFiles/bench_ablation_insitu.dir/bench_ablation_insitu.cpp.o"
+  "CMakeFiles/bench_ablation_insitu.dir/bench_ablation_insitu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

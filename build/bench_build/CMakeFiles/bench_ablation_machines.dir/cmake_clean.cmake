@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_machines"
+  "../bench/bench_ablation_machines.pdb"
+  "CMakeFiles/bench_ablation_machines.dir/bench_ablation_machines.cpp.o"
+  "CMakeFiles/bench_ablation_machines.dir/bench_ablation_machines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_radixk"
+  "../bench/bench_ablation_radixk.pdb"
+  "CMakeFiles/bench_ablation_radixk.dir/bench_ablation_radixk.cpp.o"
+  "CMakeFiles/bench_ablation_radixk.dir/bench_ablation_radixk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_radixk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

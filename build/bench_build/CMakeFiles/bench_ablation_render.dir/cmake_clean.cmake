@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_render"
+  "../bench/bench_ablation_render.pdb"
+  "CMakeFiles/bench_ablation_render.dir/bench_ablation_render.cpp.o"
+  "CMakeFiles/bench_ablation_render.dir/bench_ablation_render.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_twophase"
+  "../bench/bench_ablation_twophase.pdb"
+  "CMakeFiles/bench_ablation_twophase.dir/bench_ablation_twophase.cpp.o"
+  "CMakeFiles/bench_ablation_twophase.dir/bench_ablation_twophase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_loop.dir/insitu_loop.cpp.o"
+  "CMakeFiles/insitu_loop.dir/insitu_loop.cpp.o.d"
+  "insitu_loop"
+  "insitu_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_explorer.dir/io_explorer.cpp.o"
+  "CMakeFiles/io_explorer.dir/io_explorer.cpp.o.d"
+  "io_explorer"
+  "io_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivar_render.dir/multivar_render.cpp.o"
+  "CMakeFiles/multivar_render.dir/multivar_render.cpp.o.d"
+  "multivar_render"
+  "multivar_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivar_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernova_orbit.dir/supernova_orbit.cpp.o"
+  "CMakeFiles/supernova_orbit.dir/supernova_orbit.cpp.o.d"
+  "supernova_orbit"
+  "supernova_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernova_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsample_tool.dir/upsample_tool.cpp.o"
+  "CMakeFiles/upsample_tool.dir/upsample_tool.cpp.o.d"
+  "upsample_tool"
+  "upsample_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsample_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compose/binary_swap.cpp" "src/compose/CMakeFiles/pvr_compose.dir/binary_swap.cpp.o" "gcc" "src/compose/CMakeFiles/pvr_compose.dir/binary_swap.cpp.o.d"
+  "/root/repo/src/compose/direct_send.cpp" "src/compose/CMakeFiles/pvr_compose.dir/direct_send.cpp.o" "gcc" "src/compose/CMakeFiles/pvr_compose.dir/direct_send.cpp.o.d"
+  "/root/repo/src/compose/image_partition.cpp" "src/compose/CMakeFiles/pvr_compose.dir/image_partition.cpp.o" "gcc" "src/compose/CMakeFiles/pvr_compose.dir/image_partition.cpp.o.d"
+  "/root/repo/src/compose/radix_k.cpp" "src/compose/CMakeFiles/pvr_compose.dir/radix_k.cpp.o" "gcc" "src/compose/CMakeFiles/pvr_compose.dir/radix_k.cpp.o.d"
+  "/root/repo/src/compose/schedule.cpp" "src/compose/CMakeFiles/pvr_compose.dir/schedule.cpp.o" "gcc" "src/compose/CMakeFiles/pvr_compose.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pvr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/pvr_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pvr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pvr_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

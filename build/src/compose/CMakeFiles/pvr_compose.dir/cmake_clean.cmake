@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_compose.dir/binary_swap.cpp.o"
+  "CMakeFiles/pvr_compose.dir/binary_swap.cpp.o.d"
+  "CMakeFiles/pvr_compose.dir/direct_send.cpp.o"
+  "CMakeFiles/pvr_compose.dir/direct_send.cpp.o.d"
+  "CMakeFiles/pvr_compose.dir/image_partition.cpp.o"
+  "CMakeFiles/pvr_compose.dir/image_partition.cpp.o.d"
+  "CMakeFiles/pvr_compose.dir/radix_k.cpp.o"
+  "CMakeFiles/pvr_compose.dir/radix_k.cpp.o.d"
+  "CMakeFiles/pvr_compose.dir/schedule.cpp.o"
+  "CMakeFiles/pvr_compose.dir/schedule.cpp.o.d"
+  "libpvr_compose.a"
+  "libpvr_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pvr_core.dir/pipeline.cpp.o.d"
+  "libpvr_core.a"
+  "libpvr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpvr_core.a"
+)

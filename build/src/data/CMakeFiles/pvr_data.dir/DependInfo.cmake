@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/pvr_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/pvr_data.dir/synthetic.cpp.o.d"
+  "/root/repo/src/data/upsample.cpp" "src/data/CMakeFiles/pvr_data.dir/upsample.cpp.o" "gcc" "src/data/CMakeFiles/pvr_data.dir/upsample.cpp.o.d"
+  "/root/repo/src/data/writers.cpp" "src/data/CMakeFiles/pvr_data.dir/writers.cpp.o" "gcc" "src/data/CMakeFiles/pvr_data.dir/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/pvr_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

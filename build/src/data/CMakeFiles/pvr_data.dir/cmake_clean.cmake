@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_data.dir/synthetic.cpp.o"
+  "CMakeFiles/pvr_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pvr_data.dir/upsample.cpp.o"
+  "CMakeFiles/pvr_data.dir/upsample.cpp.o.d"
+  "CMakeFiles/pvr_data.dir/writers.cpp.o"
+  "CMakeFiles/pvr_data.dir/writers.cpp.o.d"
+  "libpvr_data.a"
+  "libpvr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

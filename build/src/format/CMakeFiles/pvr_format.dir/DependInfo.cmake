@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/file_io.cpp" "src/format/CMakeFiles/pvr_format.dir/file_io.cpp.o" "gcc" "src/format/CMakeFiles/pvr_format.dir/file_io.cpp.o.d"
+  "/root/repo/src/format/layout.cpp" "src/format/CMakeFiles/pvr_format.dir/layout.cpp.o" "gcc" "src/format/CMakeFiles/pvr_format.dir/layout.cpp.o.d"
+  "/root/repo/src/format/netcdf.cpp" "src/format/CMakeFiles/pvr_format.dir/netcdf.cpp.o" "gcc" "src/format/CMakeFiles/pvr_format.dir/netcdf.cpp.o.d"
+  "/root/repo/src/format/shdf.cpp" "src/format/CMakeFiles/pvr_format.dir/shdf.cpp.o" "gcc" "src/format/CMakeFiles/pvr_format.dir/shdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_format.dir/file_io.cpp.o"
+  "CMakeFiles/pvr_format.dir/file_io.cpp.o.d"
+  "CMakeFiles/pvr_format.dir/layout.cpp.o"
+  "CMakeFiles/pvr_format.dir/layout.cpp.o.d"
+  "CMakeFiles/pvr_format.dir/netcdf.cpp.o"
+  "CMakeFiles/pvr_format.dir/netcdf.cpp.o.d"
+  "CMakeFiles/pvr_format.dir/shdf.cpp.o"
+  "CMakeFiles/pvr_format.dir/shdf.cpp.o.d"
+  "libpvr_format.a"
+  "libpvr_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

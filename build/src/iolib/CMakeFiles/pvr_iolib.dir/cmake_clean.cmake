@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_iolib.dir/collective_read.cpp.o"
+  "CMakeFiles/pvr_iolib.dir/collective_read.cpp.o.d"
+  "CMakeFiles/pvr_iolib.dir/collective_write.cpp.o"
+  "CMakeFiles/pvr_iolib.dir/collective_write.cpp.o.d"
+  "CMakeFiles/pvr_iolib.dir/independent_read.cpp.o"
+  "CMakeFiles/pvr_iolib.dir/independent_read.cpp.o.d"
+  "libpvr_iolib.a"
+  "libpvr_iolib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_iolib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

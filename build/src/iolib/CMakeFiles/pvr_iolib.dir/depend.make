@@ -1,0 +1,2 @@
+# Empty dependencies file for pvr_iolib.
+# This may be replaced when dependencies are built.

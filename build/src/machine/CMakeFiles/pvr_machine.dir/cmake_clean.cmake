@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_machine.dir/config.cpp.o"
+  "CMakeFiles/pvr_machine.dir/config.cpp.o.d"
+  "CMakeFiles/pvr_machine.dir/partition.cpp.o"
+  "CMakeFiles/pvr_machine.dir/partition.cpp.o.d"
+  "libpvr_machine.a"
+  "libpvr_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/torus.cpp" "src/net/CMakeFiles/pvr_net.dir/torus.cpp.o" "gcc" "src/net/CMakeFiles/pvr_net.dir/torus.cpp.o.d"
+  "/root/repo/src/net/tree.cpp" "src/net/CMakeFiles/pvr_net.dir/tree.cpp.o" "gcc" "src/net/CMakeFiles/pvr_net.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pvr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_net.dir/torus.cpp.o"
+  "CMakeFiles/pvr_net.dir/torus.cpp.o.d"
+  "CMakeFiles/pvr_net.dir/tree.cpp.o"
+  "CMakeFiles/pvr_net.dir/tree.cpp.o.d"
+  "libpvr_net.a"
+  "libpvr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

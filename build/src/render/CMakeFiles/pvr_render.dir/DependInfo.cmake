@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/camera.cpp" "src/render/CMakeFiles/pvr_render.dir/camera.cpp.o" "gcc" "src/render/CMakeFiles/pvr_render.dir/camera.cpp.o.d"
+  "/root/repo/src/render/decomposition.cpp" "src/render/CMakeFiles/pvr_render.dir/decomposition.cpp.o" "gcc" "src/render/CMakeFiles/pvr_render.dir/decomposition.cpp.o.d"
+  "/root/repo/src/render/raycaster.cpp" "src/render/CMakeFiles/pvr_render.dir/raycaster.cpp.o" "gcc" "src/render/CMakeFiles/pvr_render.dir/raycaster.cpp.o.d"
+  "/root/repo/src/render/render_model.cpp" "src/render/CMakeFiles/pvr_render.dir/render_model.cpp.o" "gcc" "src/render/CMakeFiles/pvr_render.dir/render_model.cpp.o.d"
+  "/root/repo/src/render/transfer_function.cpp" "src/render/CMakeFiles/pvr_render.dir/transfer_function.cpp.o" "gcc" "src/render/CMakeFiles/pvr_render.dir/transfer_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pvr_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

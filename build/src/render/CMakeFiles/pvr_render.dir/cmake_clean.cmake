@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_render.dir/camera.cpp.o"
+  "CMakeFiles/pvr_render.dir/camera.cpp.o.d"
+  "CMakeFiles/pvr_render.dir/decomposition.cpp.o"
+  "CMakeFiles/pvr_render.dir/decomposition.cpp.o.d"
+  "CMakeFiles/pvr_render.dir/raycaster.cpp.o"
+  "CMakeFiles/pvr_render.dir/raycaster.cpp.o.d"
+  "CMakeFiles/pvr_render.dir/render_model.cpp.o"
+  "CMakeFiles/pvr_render.dir/render_model.cpp.o.d"
+  "CMakeFiles/pvr_render.dir/transfer_function.cpp.o"
+  "CMakeFiles/pvr_render.dir/transfer_function.cpp.o.d"
+  "libpvr_render.a"
+  "libpvr_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/pvr_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/pvr_runtime.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pvr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pvr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/pvr_runtime.dir/runtime.cpp.o.d"
+  "libpvr_runtime.a"
+  "libpvr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

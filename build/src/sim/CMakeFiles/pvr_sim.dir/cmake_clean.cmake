@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pvr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pvr_sim.dir/resource.cpp.o"
+  "CMakeFiles/pvr_sim.dir/resource.cpp.o.d"
+  "libpvr_sim.a"
+  "libpvr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

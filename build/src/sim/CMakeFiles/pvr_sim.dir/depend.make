@@ -1,0 +1,2 @@
+# Empty dependencies file for pvr_sim.
+# This may be replaced when dependencies are built.

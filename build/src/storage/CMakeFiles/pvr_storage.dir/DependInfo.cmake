@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/access_log.cpp" "src/storage/CMakeFiles/pvr_storage.dir/access_log.cpp.o" "gcc" "src/storage/CMakeFiles/pvr_storage.dir/access_log.cpp.o.d"
+  "/root/repo/src/storage/storage_model.cpp" "src/storage/CMakeFiles/pvr_storage.dir/storage_model.cpp.o" "gcc" "src/storage/CMakeFiles/pvr_storage.dir/storage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pvr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_storage.dir/access_log.cpp.o"
+  "CMakeFiles/pvr_storage.dir/access_log.cpp.o.d"
+  "CMakeFiles/pvr_storage.dir/storage_model.cpp.o"
+  "CMakeFiles/pvr_storage.dir/storage_model.cpp.o.d"
+  "libpvr_storage.a"
+  "libpvr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

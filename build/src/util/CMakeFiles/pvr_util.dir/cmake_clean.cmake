@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvr_util.dir/image.cpp.o"
+  "CMakeFiles/pvr_util.dir/image.cpp.o.d"
+  "CMakeFiles/pvr_util.dir/log.cpp.o"
+  "CMakeFiles/pvr_util.dir/log.cpp.o.d"
+  "CMakeFiles/pvr_util.dir/table.cpp.o"
+  "CMakeFiles/pvr_util.dir/table.cpp.o.d"
+  "libpvr_util.a"
+  "libpvr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

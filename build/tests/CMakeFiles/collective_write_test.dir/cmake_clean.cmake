@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_write_test.dir/collective_write_test.cpp.o"
+  "CMakeFiles/collective_write_test.dir/collective_write_test.cpp.o.d"
+  "collective_write_test"
+  "collective_write_test.pdb"
+  "collective_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_netcdf_test.dir/format_netcdf_test.cpp.o"
+  "CMakeFiles/format_netcdf_test.dir/format_netcdf_test.cpp.o.d"
+  "format_netcdf_test"
+  "format_netcdf_test.pdb"
+  "format_netcdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_netcdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolib_test.dir/iolib_test.cpp.o"
+  "CMakeFiles/iolib_test.dir/iolib_test.cpp.o.d"
+  "iolib_test"
+  "iolib_test.pdb"
+  "iolib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

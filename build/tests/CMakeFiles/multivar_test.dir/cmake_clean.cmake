@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivar_test.dir/multivar_test.cpp.o"
+  "CMakeFiles/multivar_test.dir/multivar_test.cpp.o.d"
+  "multivar_test"
+  "multivar_test.pdb"
+  "multivar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

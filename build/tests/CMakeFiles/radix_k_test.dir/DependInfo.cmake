@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/radix_k_test.cpp" "tests/CMakeFiles/radix_k_test.dir/radix_k_test.cpp.o" "gcc" "tests/CMakeFiles/radix_k_test.dir/radix_k_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pvr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolib/CMakeFiles/pvr_iolib.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pvr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compose/CMakeFiles/pvr_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pvr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pvr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/pvr_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pvr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pvr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/pvr_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

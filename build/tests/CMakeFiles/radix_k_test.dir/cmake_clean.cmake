@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_k_test.dir/radix_k_test.cpp.o"
+  "CMakeFiles/radix_k_test.dir/radix_k_test.cpp.o.d"
+  "radix_k_test"
+  "radix_k_test.pdb"
+  "radix_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
