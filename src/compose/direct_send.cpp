@@ -84,16 +84,47 @@ CompositeStats DirectSendCompositor::run(
   CompositeStats stats;
   stats.num_compositors = partition.num_tiles();
 
-  // Per-compositor blended pixels (for the blend-compute term).
-  std::vector<std::int64_t> blend_pixels(std::size_t(partition.num_tiles()),
-                                         0);
+  // Fault recovery (model mode): a dead compositor's tile is reassigned to
+  // the next live rank (degraded: one rank may then own several tiles); a
+  // dead renderer's fragments are simply lost and the frame reports the
+  // resulting pixel coverage < 100%.
+  const machine::Partition& mpart = rt_->partition();
+  const fault::FaultPlan* plan = rt_->fault_plan();
+  fault::FaultStats* fstats = rt_->fault_stats();
+  const bool faulty = plan != nullptr && !plan->empty();
+  PVR_REQUIRE(!(faulty && execute),
+              "fault injection is model-mode only; clear the fault plan "
+              "before compositing real pixels");
+  std::vector<std::int64_t> tile_owner;
+  if (faulty) {
+    tile_owner.resize(std::size_t(partition.num_tiles()));
+    for (std::int64_t t = 0; t < partition.num_tiles(); ++t) {
+      std::int64_t owner = t;  // tile i is owned by compositor rank i
+      if (plan->rank_failed(t, mpart)) {
+        owner = plan->next_live_rank(t, mpart);
+        if (fstats != nullptr) ++fstats->reassigned_partitions;
+      }
+      tile_owner[std::size_t(t)] = owner;
+    }
+  }
 
+  // Per-compositor-rank blended pixels (for the blend-compute term); with
+  // reassigned tiles one rank can blend several tiles' pixels.
+  std::vector<std::int64_t> blend_pixels(std::size_t(rt_->num_ranks()), 0);
+
+  std::int64_t scheduled_pixels = 0;
+  std::int64_t delivered_pixels = 0;
   std::vector<runtime::Message> messages;
   messages.reserve(schedule.size());
   for (const ScheduledMessage& s : schedule) {
+    scheduled_pixels += s.pixels();
+    if (faulty && plan->rank_failed(s.src_rank, mpart)) {
+      continue;  // dead renderer: this block's contribution is dropped
+    }
+    delivered_pixels += s.pixels();
     runtime::Message msg;
     msg.src_rank = s.src_rank;
-    msg.dst_rank = s.dst_rank;  // tile i is owned by compositor rank i
+    msg.dst_rank = faulty ? tile_owner[std::size_t(s.dst_rank)] : s.dst_rank;
     msg.tag = s.block_index;
     msg.bytes = s.pixels() * config_.wire_bytes_per_pixel;
     if (execute) {
@@ -101,8 +132,13 @@ CompositeStats DirectSendCompositor::run(
       PVR_ASSERT(sub.rect.intersect(s.rect) == s.rect);
       msg.payload = pack_fragment(sub, s.rect, s.depth);
     }
-    blend_pixels[std::size_t(s.dst_rank)] += s.pixels();
+    blend_pixels[std::size_t(msg.dst_rank)] += s.pixels();
     messages.push_back(std::move(msg));
+  }
+  if (faulty && fstats != nullptr && scheduled_pixels > 0) {
+    fstats->coverage =
+        std::min(fstats->coverage,
+                 double(delivered_pixels) / double(scheduled_pixels));
   }
   stats.messages = std::int64_t(messages.size());
   for (const auto& msg : messages) stats.bytes += msg.bytes;

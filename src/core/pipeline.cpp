@@ -7,10 +7,46 @@
 
 namespace pvr::core {
 
+void validate(const ExperimentConfig& config) {
+  const auto fail = [](const std::string& field, auto value,
+                       const std::string& hint) {
+    throw Error("invalid ExperimentConfig: " + field + " = " +
+                std::to_string(value) + "; " + hint);
+  };
+  if (config.num_ranks <= 0) {
+    fail("num_ranks", config.num_ranks,
+         "need at least one rank (paper scale is 64 .. 32768)");
+  }
+  if (config.image_width <= 0) {
+    fail("image_width", config.image_width,
+         "image dimensions must be positive (paper uses up to 4096^2)");
+  }
+  if (config.image_height <= 0) {
+    fail("image_height", config.image_height,
+         "image dimensions must be positive (paper uses up to 4096^2)");
+  }
+  if (config.blocks_per_rank < 1) {
+    fail("blocks_per_rank", config.blocks_per_rank,
+         "each rank must own at least one block; use 1 for the paper's "
+         "static one-block-per-process decomposition");
+  }
+  if (config.ghost < 0) {
+    fail("ghost", config.ghost,
+         "ghost layer count cannot be negative; use 0 to disable ghost "
+         "loading");
+  }
+  const auto& dims = config.dataset.dims;
+  if (dims.x <= 0 || dims.y <= 0 || dims.z <= 0) {
+    throw Error("invalid ExperimentConfig: dataset.dims = (" +
+                std::to_string(dims.x) + ", " + std::to_string(dims.y) +
+                ", " + std::to_string(dims.z) +
+                "); all dataset dimensions must be positive");
+  }
+}
+
 ParallelVolumeRenderer::ParallelVolumeRenderer(const ExperimentConfig& config)
     : config_(config) {
-  PVR_REQUIRE(config.num_ranks > 0, "need at least one rank");
-  PVR_REQUIRE(config.blocks_per_rank >= 1, "blocks_per_rank must be >= 1");
+  validate(config);
   partition_ =
       std::make_unique<machine::Partition>(config.machine, config.num_ranks);
   decomp_ = std::make_unique<render::Decomposition>(
@@ -131,6 +167,62 @@ FrameStats ParallelVolumeRenderer::model_frame() {
   stats.io_seconds = stats.io.seconds;
   stats.render = model_render();
   stats.render_seconds = stats.render.seconds;
+  stats.composite = model_composite(config_.composite.policy,
+                                    config_.composite.fixed_compositors);
+  stats.composite_seconds = stats.composite.seconds;
+  return stats;
+}
+
+namespace {
+
+/// Arms the runtime's fault state for one frame and disarms it on exit, so
+/// a throwing stage cannot leak a dangling plan pointer into later frames.
+class FaultScope {
+ public:
+  FaultScope(runtime::Runtime& rt, const fault::FaultPlan& plan,
+             fault::FaultStats* stats)
+      : rt_(&rt) {
+    rt_->set_faults(&plan, stats);
+  }
+  ~FaultScope() { rt_->set_faults(nullptr, nullptr); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  runtime::Runtime* rt_;
+};
+
+}  // namespace
+
+FrameStats ParallelVolumeRenderer::model_frame_with_faults(
+    const fault::FaultPlan& plan) {
+  if (plan.empty()) return model_frame();
+  runtime::Runtime& rt = model_rt();
+  FrameStats stats;
+  stats.faults = plan.census();
+  const FaultScope scope(rt, plan, &stats.faults);
+
+  // --- Stage 1: collective read; dead ranks request nothing. ---
+  auto blocks = io_blocks();
+  const std::size_t before = blocks.size();
+  std::erase_if(blocks, [&](const iolib::RankBlock& b) {
+    return plan.rank_failed(b.rank, *partition_);
+  });
+  stats.faults.dropped_blocks += std::int64_t(before - blocks.size());
+  iolib::CollectiveReader reader(rt, *storage_, config_.hints);
+  stats.io = reader.read(*layout_, variable_, blocks, nullptr, {});
+  stats.io_seconds = stats.io.seconds;
+
+  // --- Stage 2: dead ranks render nothing; straggler is the worst live
+  // rank. ---
+  const render::RenderModel rmodel(config_.machine);
+  stats.render = rmodel.estimate(
+      *decomp_, config_.num_ranks, camera_, config_.render,
+      [&](std::int64_t rank) { return !plan.rank_failed(rank, *partition_); });
+  stats.render_seconds = stats.render.seconds;
+
+  // --- Stage 3: direct-send compositing reads the fault state from the
+  // runtime (tile reassignment, dropped fragments, coverage). ---
   stats.composite = model_composite(config_.composite.policy,
                                     config_.composite.fixed_compositors);
   stats.composite_seconds = stats.composite.seconds;

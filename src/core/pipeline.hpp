@@ -30,6 +30,7 @@
 #include "compose/direct_send.hpp"
 #include "compose/radix_k.hpp"
 #include "data/synthetic.hpp"
+#include "fault/fault_plan.hpp"
 #include "format/layout.hpp"
 #include "iolib/collective_read.hpp"
 #include "iolib/independent_read.hpp"
@@ -57,6 +58,12 @@ struct ExperimentConfig {
   int blocks_per_rank = 1;
 };
 
+/// Fail-loud validation of an experiment configuration: throws pvr::Error
+/// with an actionable message naming the offending field and value. Called
+/// by the ParallelVolumeRenderer constructor; exposed so callers building
+/// configs programmatically can validate early.
+void validate(const ExperimentConfig& config);
+
 /// Per-frame instrumentation in the paper's terms.
 struct FrameStats {
   double io_seconds = 0.0;
@@ -67,15 +74,27 @@ struct FrameStats {
   render::RenderEstimate render;
   compose::CompositeStats composite;
 
+  /// Fault census + recovery counters; all-zero (coverage 1.0) for healthy
+  /// frames. Filled by model_frame_with_faults.
+  fault::FaultStats faults;
+
   double total_seconds() const {
     return io_seconds + render_seconds + composite_seconds;
   }
-  double pct_io() const { return 100.0 * io_seconds / total_seconds(); }
+  // Stage percentages are 0 (not NaN) for a zero-duration frame, which
+  // happens for degenerate configs (e.g. in-situ frames whose render and
+  // composite both model to 0 work).
+  double pct_io() const {
+    const double t = total_seconds();
+    return t > 0.0 ? 100.0 * io_seconds / t : 0.0;
+  }
   double pct_render() const {
-    return 100.0 * render_seconds / total_seconds();
+    const double t = total_seconds();
+    return t > 0.0 ? 100.0 * render_seconds / t : 0.0;
   }
   double pct_composite() const {
-    return 100.0 * composite_seconds / total_seconds();
+    const double t = total_seconds();
+    return t > 0.0 ? 100.0 * composite_seconds / t : 0.0;
   }
   /// Read bandwidth in the paper's terms: useful bytes / I/O time.
   double read_bandwidth() const {
@@ -111,6 +130,15 @@ class ParallelVolumeRenderer {
   /// Radix-k compositing with rounds of (at most) the given radix.
   compose::CompositeStats model_radix_k(int radix);
   FrameStats model_frame();
+
+  /// Degraded-mode frame under an injected fault plan: dead ranks read and
+  /// render nothing (their blocks are dropped and the frame's pixel
+  /// coverage falls below 100%), dead compositors' tiles are reassigned to
+  /// the next live rank, routes detour around failed links, and storage
+  /// failures are retried/failed-over — all priced into the stage times.
+  /// An empty plan returns exactly model_frame(). Deterministic for a
+  /// given plan.
+  FrameStats model_frame_with_faults(const fault::FaultPlan& plan);
 
   /// In-situ frame: the data is already resident in the simulation's
   /// memory, so the I/O stage disappears entirely — the scenario the paper

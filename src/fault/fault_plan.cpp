@@ -1,0 +1,109 @@
+#include "fault/fault_plan.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pvr::fault {
+
+FaultPlan FaultPlan::generate(const machine::Partition& partition,
+                              const machine::StorageConfig& storage,
+                              const FaultSpec& spec) {
+  PVR_REQUIRE(spec.node_fail_rate >= 0.0 && spec.node_fail_rate < 1.0,
+              "node_fail_rate must be in [0, 1)");
+  PVR_REQUIRE(spec.link_fail_rate >= 0.0 && spec.link_fail_rate < 1.0,
+              "link_fail_rate must be in [0, 1)");
+  PVR_REQUIRE(spec.ion_fail_rate >= 0.0 && spec.ion_fail_rate < 1.0,
+              "ion_fail_rate must be in [0, 1)");
+  PVR_REQUIRE(spec.server_fail_rate >= 0.0 && spec.server_fail_rate < 1.0,
+              "server_fail_rate must be in [0, 1)");
+  PVR_REQUIRE(spec.server_degrade_rate >= 0.0 &&
+                  spec.server_degrade_rate < 1.0,
+              "server_degrade_rate must be in [0, 1)");
+  PVR_REQUIRE(spec.server_degrade_factor >= 1.0,
+              "server_degrade_factor must be >= 1");
+  PVR_REQUIRE(spec.max_retries >= 0, "max_retries must be >= 0");
+  PVR_REQUIRE(spec.retry_timeout >= 0.0, "retry_timeout must be >= 0");
+
+  FaultPlan plan(spec);
+  Rng rng(spec.seed);
+
+  // Fixed sampling order keeps the plan a pure function of (geometry, spec).
+  // At least one node always survives: recovery needs somewhere to land.
+  for (std::int64_t n = 0; n < partition.num_nodes(); ++n) {
+    if (rng.next_double() < spec.node_fail_rate &&
+        std::int64_t(plan.nodes_.size()) < partition.num_nodes() - 1) {
+      plan.nodes_.insert(n);
+    }
+  }
+  for (std::int64_t n = 0; n < partition.num_nodes(); ++n) {
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        if (rng.next_double() < spec.link_fail_rate) {
+          plan.links_.insert(link_key(n, dim, dir));
+        }
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < partition.num_ions(); ++i) {
+    if (rng.next_double() < spec.ion_fail_rate &&
+        std::int64_t(plan.ions_.size()) < partition.num_ions() - 1) {
+      plan.ions_.insert(i);
+    }
+  }
+  for (int s = 0; s < storage.num_servers; ++s) {
+    if (rng.next_double() < spec.server_fail_rate &&
+        int(plan.servers_.size()) < storage.num_servers - 1) {
+      plan.servers_.insert(s);
+    }
+  }
+  for (int s = 0; s < storage.num_servers; ++s) {
+    if (plan.server_failed(s)) continue;  // dead beats degraded
+    if (rng.next_double() < spec.server_degrade_rate) {
+      plan.degraded_[s] = spec.server_degrade_factor;
+    }
+  }
+  return plan;
+}
+
+std::int64_t FaultPlan::next_live_rank(std::int64_t rank,
+                                       const machine::Partition& part) const {
+  const std::int64_t n = part.num_ranks();
+  PVR_ASSERT(rank >= 0 && rank < n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t r = (rank + i) % n;
+    if (!rank_failed(r, part)) return r;
+  }
+  throw Error("fault recovery impossible: every rank in the partition is on "
+              "a failed node");
+}
+
+std::int64_t FaultPlan::next_live_ion(std::int64_t ion,
+                                      std::int64_t num_ions) const {
+  PVR_ASSERT(ion >= 0 && ion < num_ions);
+  for (std::int64_t i = 0; i < num_ions; ++i) {
+    const std::int64_t candidate = (ion + i) % num_ions;
+    if (!ion_failed(candidate)) return candidate;
+  }
+  throw Error("fault recovery impossible: every I/O node is failed");
+}
+
+int FaultPlan::next_live_server(int server, int num_servers) const {
+  PVR_ASSERT(server >= 0 && server < num_servers);
+  for (int i = 0; i < num_servers; ++i) {
+    const int candidate = (server + i) % num_servers;
+    if (!server_failed(candidate)) return candidate;
+  }
+  throw Error("fault recovery impossible: every storage server is failed");
+}
+
+FaultStats FaultPlan::census() const {
+  FaultStats stats;
+  stats.failed_nodes = std::int64_t(nodes_.size());
+  stats.failed_links = std::int64_t(links_.size());
+  stats.failed_ions = std::int64_t(ions_.size());
+  stats.failed_servers = std::int64_t(servers_.size());
+  stats.degraded_servers = std::int64_t(degraded_.size());
+  return stats;
+}
+
+}  // namespace pvr::fault

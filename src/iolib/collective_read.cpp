@@ -170,8 +170,23 @@ ReadResult CollectiveReader::read_vars(const format::VolumeLayout& layout,
   for (std::size_t d = 1; d < dom_start.size(); ++d) {
     dom_start[d] = std::max(dom_start[d], dom_start[d - 1]);
   }
+  // Aggregator of each file domain: spread across nodes/IONs; a domain
+  // whose aggregator rank sits on a failed node is reassigned to the next
+  // live rank so no file domain goes unserved.
+  const fault::FaultPlan* plan = rt_->fault_plan();
+  fault::FaultStats* fstats = rt_->fault_stats();
+  const bool faulty = plan != nullptr && !plan->empty();
+  std::vector<std::int64_t> domain_agg(static_cast<std::size_t>(num_aggs));
+  for (std::int64_t d = 0; d < num_aggs; ++d) {
+    std::int64_t r = d * part.num_ranks() / num_aggs;
+    if (faulty && plan->rank_failed(r, part)) {
+      r = plan->next_live_rank(r, part);
+      if (fstats != nullptr) ++fstats->reassigned_aggregators;
+    }
+    domain_agg[std::size_t(d)] = r;
+  }
   const auto agg_rank = [&](std::int64_t d) {
-    return d * part.num_ranks() / num_aggs;  // spread across nodes/IONs
+    return domain_agg[std::size_t(d)];
   };
 
   // ---- Phase 3: chunk trims (data sieving) + per-(agg, rank) shuffle bytes.
@@ -244,7 +259,7 @@ ReadResult CollectiveReader::read_vars(const format::VolumeLayout& layout,
     accesses.push_back(storage::PhysicalAccess{
         chunk.trim_lo, chunk.trim_hi - chunk.trim_lo, agg_rank(d)});
   }
-  result.storage_cost = storage_->read_cost(accesses);
+  result.storage_cost = storage_->read_cost(accesses, plan, fstats);
   result.accesses = result.storage_cost.accesses;
   result.physical_bytes = result.storage_cost.physical_bytes;
   if (log != nullptr) {

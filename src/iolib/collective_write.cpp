@@ -137,8 +137,22 @@ ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
   for (std::size_t d = 1; d < dom_start.size(); ++d) {
     dom_start[d] = std::max(dom_start[d], dom_start[d - 1]);
   }
+  // Aggregator of each file domain; domains on failed ranks are reassigned
+  // to the next live rank (mirrors the reader's recovery).
+  const fault::FaultPlan* plan = rt_->fault_plan();
+  fault::FaultStats* fstats = rt_->fault_stats();
+  const bool faulty = plan != nullptr && !plan->empty();
+  std::vector<std::int64_t> domain_agg(static_cast<std::size_t>(num_aggs));
+  for (std::int64_t d = 0; d < num_aggs; ++d) {
+    std::int64_t r = d * part.num_ranks() / num_aggs;
+    if (faulty && plan->rank_failed(r, part)) {
+      r = plan->next_live_rank(r, part);
+      if (fstats != nullptr) ++fstats->reassigned_aggregators;
+    }
+    domain_agg[std::size_t(d)] = r;
+  }
   const auto agg_rank = [&](std::int64_t d) {
-    return d * part.num_ranks() / num_aggs;
+    return domain_agg[std::size_t(d)];
   };
   const auto domain_of = [&](std::int64_t offset) {
     const auto it =
@@ -246,7 +260,7 @@ ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
     accesses.push_back(
         storage::PhysicalAccess{chunk.trim_lo, span_len, agg_rank(d)});
   }
-  result.storage_cost = storage_->read_cost(accesses);
+  result.storage_cost = storage_->read_cost(accesses, plan, fstats);
   result.accesses = result.storage_cost.accesses;
   result.physical_bytes = result.storage_cost.physical_bytes;
   if (log != nullptr) {

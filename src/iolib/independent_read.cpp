@@ -75,7 +75,8 @@ ReadResult IndependentReader::read(const format::VolumeLayout& layout,
     }
   }
 
-  result.storage_cost = storage_->read_cost(accesses);
+  result.storage_cost =
+      storage_->read_cost(accesses, rt_->fault_plan(), rt_->fault_stats());
   result.accesses = result.storage_cost.accesses;
   result.physical_bytes = result.storage_cost.physical_bytes;
   if (log != nullptr) {

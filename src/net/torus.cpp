@@ -33,6 +33,96 @@ std::int64_t TorusModel::route(
   return hops;
 }
 
+std::int64_t TorusModel::neighbor(std::int64_t node, int dim, int dir) const {
+  const auto& part = *partition_;
+  Vec3i c = part.coords_of_node(node);
+  const Vec3i dims = part.torus_dims();
+  c[dim] = (c[dim] + (dir == 0 ? 1 : dims[dim] - 1)) % dims[dim];
+  return part.node_of_coords(c);
+}
+
+bool TorusModel::link_usable(const LinkId& link,
+                             const fault::FaultPlan& plan) const {
+  if (plan.link_failed(link.node, link.dim, link.dir)) return false;
+  if (plan.node_failed(link.node)) return false;
+  return !plan.node_failed(neighbor(link.node, link.dim, link.dir));
+}
+
+FaultRoute TorusModel::route_with_faults(
+    std::int64_t node_a, std::int64_t node_b, const fault::FaultPlan& plan,
+    const std::function<void(const LinkId&)>& visit) const {
+  FaultRoute result;
+  if (plan.empty()) {
+    result.hops = route(node_a, node_b, visit);
+    return result;
+  }
+  if (plan.node_failed(node_a) || plan.node_failed(node_b)) {
+    result.reachable = false;
+    return result;
+  }
+  if (node_a == node_b) return result;
+
+  // Fast path: the dimension-ordered route, when every link on it is alive.
+  std::vector<LinkId> path;
+  route(node_a, node_b, [&](const LinkId& l) { path.push_back(l); });
+  bool clean = true;
+  for (const LinkId& l : path) {
+    if (!link_usable(l, plan)) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) {
+    for (const LinkId& l : path) visit(l);
+    result.hops = std::int64_t(path.size());
+    return result;
+  }
+
+  // Detour: BFS over live links, fixed neighbor order (x+, x-, y+, y-,
+  // z+, z-) so the chosen shortest path is deterministic.
+  const std::int64_t n = partition_->num_nodes();
+  std::vector<std::int64_t> parent(std::size_t(n), -1);
+  std::vector<std::int8_t> parent_link(std::size_t(n), -1);
+  std::vector<std::int64_t> queue;
+  queue.reserve(std::size_t(n));
+  queue.push_back(node_a);
+  parent[std::size_t(node_a)] = node_a;
+  bool found = false;
+  for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+    const std::int64_t cur = queue[head];
+    for (int dim = 0; dim < 3 && !found; ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const LinkId link{cur, dim, dir};
+        if (!link_usable(link, plan)) continue;
+        const std::int64_t nb = neighbor(cur, dim, dir);
+        if (parent[std::size_t(nb)] >= 0) continue;
+        parent[std::size_t(nb)] = cur;
+        parent_link[std::size_t(nb)] = std::int8_t(dim * 2 + dir);
+        if (nb == node_b) {
+          found = true;
+          break;
+        }
+        queue.push_back(nb);
+      }
+    }
+  }
+  if (!found) {
+    result.reachable = false;
+    return result;
+  }
+  path.clear();
+  for (std::int64_t cur = node_b; cur != node_a;
+       cur = parent[std::size_t(cur)]) {
+    const int key = parent_link[std::size_t(cur)];
+    path.push_back(LinkId{parent[std::size_t(cur)], key / 2, key % 2});
+  }
+  std::reverse(path.begin(), path.end());
+  for (const LinkId& l : path) visit(l);
+  result.hops = std::int64_t(path.size());
+  result.detoured = true;
+  return result;
+}
+
 double TorusModel::message_efficiency(double message_bytes) const {
   const double s_half = partition_->config().half_bw_msg_bytes;
   if (message_bytes <= 0.0) return 1.0;
@@ -47,10 +137,17 @@ double TorusModel::peak_aggregate_bandwidth(double message_bytes) const {
 
 ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
                                   int rounds) const {
+  return exchange(transfers, rounds, nullptr, nullptr);
+}
+
+ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
+                                  int rounds, const fault::FaultPlan* plan,
+                                  fault::FaultStats* stats) const {
   const auto& part = *partition_;
   const auto& cfg = part.config();
   const std::int64_t nodes = part.num_nodes();
   PVR_ASSERT(rounds >= 1);
+  const bool faulty = plan != nullptr && !plan->empty();
 
   ExchangeCost cost;
   if (transfers.empty()) return cost;
@@ -62,14 +159,55 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
     std::int64_t send_msgs = 0, recv_msgs = 0;
     double send_bytes = 0.0, recv_bytes = 0.0;
     double local_bytes = 0.0;
+    double retry_seconds = 0.0;
   };
   std::vector<NodeLoad> node_load(static_cast<std::size_t>(nodes));
+
+  const auto visit_link = [&](const LinkId& link, std::int64_t bytes) {
+    const auto li = static_cast<std::size_t>(link_index(link));
+    link_bytes[li] += double(bytes);
+    ++link_msgs[li];
+  };
 
   double pressure_events = 0.0;  // smallness-weighted message events
   for (const Transfer& t : transfers) {
     PVR_ASSERT(t.bytes >= 0);
     const std::int64_t src = part.node_of_rank(t.src_rank);
     const std::int64_t dst = part.node_of_rank(t.dst_rank);
+
+    std::int64_t hops = 0;
+    if (faulty) {
+      // A message to (or from) a dead rank, or one cut off from its
+      // destination by link faults, never enters the round: a live sender
+      // burns its retry attempts discovering this, then gives up.
+      bool undeliverable =
+          plan->node_failed(src) || plan->node_failed(dst);
+      FaultRoute fr;
+      if (!undeliverable && src != dst) {
+        fr = route_with_faults(
+            src, dst, *plan,
+            [&](const LinkId& link) { visit_link(link, t.bytes); });
+        undeliverable = !fr.reachable;
+      }
+      if (undeliverable) {
+        const auto& spec = plan->spec();
+        if (!plan->node_failed(src)) {
+          node_load[static_cast<std::size_t>(src)].retry_seconds +=
+              double(spec.max_retries) * spec.retry_timeout;
+        }
+        if (stats != nullptr) {
+          ++stats->undeliverable_messages;
+          stats->retries += spec.max_retries;
+        }
+        continue;
+      }
+      hops = fr.hops;
+      if (fr.detoured && stats != nullptr) {
+        ++stats->rerouted_messages;
+        stats->rerouted_hops += fr.hops;
+      }
+    }
+
     ++cost.messages;
     cost.total_bytes += t.bytes;
     pressure_events += 2.0 * cfg.small_msg_pressure_bytes /
@@ -85,11 +223,10 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
     sl.send_bytes += double(t.bytes);
     ++dl.recv_msgs;
     dl.recv_bytes += double(t.bytes);
-    const std::int64_t hops = route(src, dst, [&](const LinkId& link) {
-      const auto li = static_cast<std::size_t>(link_index(link));
-      link_bytes[li] += double(t.bytes);
-      ++link_msgs[li];
-    });
+    if (!faulty) {
+      hops = route(src, dst,
+                   [&](const LinkId& link) { visit_link(link, t.bytes); });
+    }
     cost.max_hops = std::max(cost.max_hops, hops);
   }
 
@@ -116,6 +253,8 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
   // congestion and, on hot receivers, the hot-spot penalty) plus injection /
   // extraction serialization at link bandwidth. Local (intra-node) copies
   // are charged at memory-copy speed approximated by 4x link bandwidth.
+  // Senders that retried undeliverable messages stall for those attempts
+  // before the round can close (BSP).
   double worst_endpoint = 0.0;
   const double local_copy_bw = 4.0 * cfg.torus_link_bw;
   for (const NodeLoad& nl : node_load) {
@@ -126,7 +265,9 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
                              double(nl.recv_msgs) * hot_factor);
     const double wire = (nl.send_bytes + nl.recv_bytes) / cfg.torus_link_bw +
                         nl.local_bytes / local_copy_bw;
-    worst_endpoint = std::max(worst_endpoint, msg_cost + wire);
+    worst_endpoint =
+        std::max(worst_endpoint, msg_cost + wire + nl.retry_seconds);
+    cost.retry_seconds = std::max(cost.retry_seconds, nl.retry_seconds);
   }
   cost.endpoint_seconds = worst_endpoint;
 

@@ -13,12 +13,21 @@
 // messages per node) and a receive-side hot-spot penalty for high in-degree
 // nodes. DESIGN.md §4 documents the calibration of these constants against
 // the BG/P microbenchmark literature cited by the paper.
+// Fault awareness: every routing/exchange entry point has a fault-aware
+// variant taking a fault::FaultPlan. A dead node takes all six of its links
+// down; dimension-ordered routes that would cross a failed link or node are
+// detoured over the shortest live path (deterministic BFS, fixed neighbor
+// order) and the detour's hops are charged like any other traffic. Messages
+// whose endpoints are dead — or that are cut off entirely by link faults —
+// are undeliverable: the sender burns its configured retry attempts and the
+// message never enters the round.
 #pragma once
 
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "machine/partition.hpp"
 #include "net/transfer.hpp"
 
@@ -31,6 +40,13 @@ struct LinkId {
   int dir;            ///< 0 = +, 1 = -
 };
 
+/// Outcome of routing one message through a faulty torus.
+struct FaultRoute {
+  std::int64_t hops = 0;  ///< hops actually traveled (0 when unreachable)
+  bool reachable = true;  ///< false: endpoints dead or cut off by faults
+  bool detoured = false;  ///< true: left the dimension-ordered path
+};
+
 class TorusModel {
  public:
   explicit TorusModel(const machine::Partition& partition);
@@ -39,6 +55,20 @@ class TorusModel {
   /// from node a to node b. Returns hop count.
   std::int64_t route(std::int64_t node_a, std::int64_t node_b,
                      const std::function<void(const LinkId&)>& visit) const;
+
+  /// Fault-aware routing. Uses the dimension-ordered route when it is
+  /// clean; otherwise finds the shortest live detour (deterministic BFS).
+  /// `visit` sees the links actually traversed; nothing is visited when the
+  /// destination is unreachable.
+  FaultRoute route_with_faults(
+      std::int64_t node_a, std::int64_t node_b, const fault::FaultPlan& plan,
+      const std::function<void(const LinkId&)>& visit) const;
+
+  /// Neighbor of `node` one hop along `dim` in direction `dir` (0=+, 1=-).
+  std::int64_t neighbor(std::int64_t node, int dim, int dir) const;
+
+  /// True when the directed link and both of its endpoint nodes are alive.
+  bool link_usable(const LinkId& link, const fault::FaultPlan& plan) const;
 
   /// Flat index of a directed link; links are numbered node*6 + dim*2 + dir.
   std::int64_t link_index(const LinkId& link) const {
@@ -52,6 +82,15 @@ class TorusModel {
   /// congestion pressure without changing total per-message or wire costs.
   ExchangeCost exchange(std::span<const Transfer> transfers,
                         int rounds = 1) const;
+
+  /// Fault-aware exchange: routes detour around failed links/nodes (extra
+  /// hops are charged), undeliverable messages cost their sender the
+  /// configured retries and are dropped from the round. `plan` may be null
+  /// (healthy pricing, identical to the two-argument overload); `stats`, if
+  /// non-null, accumulates undeliverable/retry/reroute counters.
+  ExchangeCost exchange(std::span<const Transfer> transfers, int rounds,
+                        const fault::FaultPlan* plan,
+                        fault::FaultStats* stats) const;
 
   /// Theoretical aggregate peak bandwidth (bytes/s) for a round of messages
   /// of the given size: every node injecting at link speed, derated only by

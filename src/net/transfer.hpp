@@ -29,6 +29,9 @@ struct ExchangeCost {
   double endpoint_seconds = 0.0;  ///< worst per-node injection/extraction
   double latency_seconds = 0.0;
   double skew_seconds = 0.0;
+  /// Worst per-node stall spent retrying undeliverable sends (fault-aware
+  /// exchanges only; folded into endpoint_seconds).
+  double retry_seconds = 0.0;
 
   /// Aggregate payload bandwidth of the round, bytes/second.
   double bandwidth() const {

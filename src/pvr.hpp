@@ -7,6 +7,7 @@
 //   pvr::format    — raw, netCDF classic (CDF-1/2/5), SHDF layouts & codecs
 //   pvr::data      — synthetic supernova data, writers, upsampling
 //   pvr::storage   — parallel file system model, access logs
+//   pvr::fault     — deterministic fault injection and recovery stats
 //   pvr::runtime   — superstep rank runtime (execute & model modes)
 //   pvr::net       — torus and tree network models
 //   pvr::machine   — Blue Gene/P machine description and partitions
@@ -22,6 +23,7 @@
 #include "data/synthetic.hpp"
 #include "data/upsample.hpp"
 #include "data/writers.hpp"
+#include "fault/fault_plan.hpp"
 #include "format/dataset.hpp"
 #include "format/extent.hpp"
 #include "format/file_io.hpp"

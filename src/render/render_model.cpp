@@ -39,17 +39,25 @@ RenderEstimate RenderModel::estimate(const Decomposition& decomp,
                                      std::int64_t num_ranks,
                                      const Camera& camera,
                                      const RenderConfig& config) const {
+  return estimate(decomp, num_ranks, camera, config, nullptr);
+}
+
+RenderEstimate RenderModel::estimate(
+    const Decomposition& decomp, std::int64_t num_ranks,
+    const Camera& camera, const RenderConfig& config,
+    const std::function<bool(std::int64_t)>& rank_alive) const {
   PVR_REQUIRE(num_ranks > 0, "need at least one rank");
   const double step_world =
       config.step_voxels * voxel_size(decomp.dims());
   std::vector<std::int64_t> rank_samples(std::size_t(num_ranks), 0);
   RenderEstimate est;
   for (std::int64_t b = 0; b < decomp.num_blocks(); ++b) {
+    const std::int64_t rank = Decomposition::rank_of_block(b, num_ranks);
+    if (rank_alive != nullptr && !rank_alive(rank)) continue;
     const Box3d wb = world_box_of(decomp.block_box(b), decomp.dims());
     const std::int64_t s = block_samples(wb, camera, step_world);
     est.total_samples += s;
-    rank_samples[std::size_t(
-        Decomposition::rank_of_block(b, num_ranks))] += s;
+    rank_samples[std::size_t(rank)] += s;
   }
   est.max_rank_samples =
       *std::max_element(rank_samples.begin(), rank_samples.end());

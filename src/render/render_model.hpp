@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -43,6 +44,15 @@ class RenderModel {
   RenderEstimate estimate(const Decomposition& decomp,
                           std::int64_t num_ranks, const Camera& camera,
                           const RenderConfig& config) const;
+
+  /// Degraded-mode estimate: blocks owned by ranks for which `rank_alive`
+  /// returns false render nothing (their contribution is dropped for the
+  /// frame); the straggler is the worst *live* rank. A null predicate is
+  /// the healthy estimate above.
+  RenderEstimate estimate(
+      const Decomposition& decomp, std::int64_t num_ranks,
+      const Camera& camera, const RenderConfig& config,
+      const std::function<bool(std::int64_t rank)>& rank_alive) const;
 
   /// Converts a per-rank sample count to seconds (without imbalance).
   double seconds_for_samples(std::int64_t samples) const {

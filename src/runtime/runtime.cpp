@@ -43,10 +43,18 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
   for (const Message& m : messages) {
     transfers.push_back(net::Transfer{m.src_rank, m.dst_rank, m.bytes});
   }
-  const net::ExchangeCost cost = torus_.exchange(transfers, rounds);
+  const net::ExchangeCost cost =
+      torus_.exchange(transfers, rounds, fault_plan_, fault_stats_);
   ledger_.exchange += cost.seconds;
 
   if (consume != nullptr) {
+    if (fault_plan_ != nullptr && !fault_plan_->empty()) {
+      // Undeliverable messages (dead sender or receiver) never reach an
+      // inbox; the torus exchange already charged the sender's retries.
+      std::erase_if(messages, [&](const Message& m) {
+        return rank_failed(m.src_rank) || rank_failed(m.dst_rank);
+      });
+    }
     std::stable_sort(messages.begin(), messages.end(), MessageOrder{});
     std::size_t i = 0;
     while (i < messages.size()) {

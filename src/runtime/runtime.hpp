@@ -19,11 +19,13 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "machine/partition.hpp"
 #include "net/torus.hpp"
 #include "net/transfer.hpp"
 #include "net/tree.hpp"
 #include "runtime/message.hpp"
+#include "util/error.hpp"
 
 namespace pvr::runtime {
 
@@ -69,6 +71,28 @@ class Runtime {
   const net::TorusModel& torus() const { return torus_; }
   const net::TreeModel& tree() const { return tree_; }
 
+  /// Installs (or with nullptrs clears) a fault plan for subsequent phases.
+  /// While a plan is active every exchange is priced fault-aware: routes
+  /// detour around dead links/nodes, messages to or from failed ranks are
+  /// reported undeliverable (the sender pays the configured retries) and
+  /// are not delivered to `consume`. Pointers are borrowed; the caller
+  /// keeps them alive until the plan is cleared. `stats` may be null.
+  /// Note: delivery filtering is endpoint-based; a message cut off only by
+  /// link faults still reaches `consume` in execute mode (its loss affects
+  /// pricing and FaultStats, which is what model mode observes).
+  void set_faults(const fault::FaultPlan* plan, fault::FaultStats* stats) {
+    PVR_ASSERT(plan != nullptr || stats == nullptr);
+    fault_plan_ = plan;
+    fault_stats_ = stats;
+  }
+  const fault::FaultPlan* fault_plan() const { return fault_plan_; }
+  fault::FaultStats* fault_stats() const { return fault_stats_; }
+  /// True when an active fault plan marks the rank's node as failed.
+  bool rank_failed(std::int64_t rank) const {
+    return fault_plan_ != nullptr &&
+           fault_plan_->rank_failed(rank, *partition_);
+  }
+
   using ProduceFn = std::function<void(std::int64_t rank, Sender& out)>;
   using ConsumeFn =
       std::function<void(std::int64_t rank, std::span<const Message> inbox)>;
@@ -108,6 +132,8 @@ class Runtime {
   net::TorusModel torus_;
   net::TreeModel tree_;
   TimeLedger ledger_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::FaultStats* fault_stats_ = nullptr;
 };
 
 }  // namespace pvr::runtime

@@ -20,8 +20,15 @@ double StorageModel::aggregate_cap() const {
 }
 
 IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses) const {
+  return read_cost(accesses, nullptr, nullptr);
+}
+
+IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses,
+                               const fault::FaultPlan* plan,
+                               fault::FaultStats* stats) const {
   IoCost cost;
   if (accesses.empty()) return cost;
+  const bool faulty = plan != nullptr && !plan->empty();
 
   std::vector<double> server_busy(static_cast<std::size_t>(cfg_.num_servers),
                                   0.0);
@@ -30,6 +37,8 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses) const {
                                 0.0);
   std::vector<std::int64_t> client_requests(
       static_cast<std::size_t>(partition_->num_ranks()), 0);
+  std::vector<std::int8_t> client_rerouted(
+      faulty ? static_cast<std::size_t>(partition_->num_ranks()) : 0, 0);
 
   for (const PhysicalAccess& a : accesses) {
     PVR_ASSERT(a.offset >= 0 && a.bytes >= 0);
@@ -48,14 +57,44 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses) const {
       // Consecutive stripes on the same server (num_servers == 1 or small
       // accesses) still pay one latency per stripe crossing; this slightly
       // overcharges huge accesses but those are streaming-dominated anyway.
-      auto& busy = server_busy[static_cast<std::size_t>(server_of(pos))];
-      busy += cfg_.server_access_latency + double(take) / cfg_.server_bw;
+      int server = server_of(pos);
+      double latency = cfg_.server_access_latency;
+      double bw = cfg_.server_bw;
+      if (faulty) {
+        if (plan->server_failed(server)) {
+          // Failover: the client discovers the dead server (one wasted
+          // request latency), then the next live server serves the extent.
+          server = plan->next_live_server(server, cfg_.num_servers);
+          latency += cfg_.server_access_latency;
+          if (stats != nullptr) {
+            ++stats->failover_extents;
+            ++stats->retries;
+          }
+        }
+        const double degrade = plan->server_degrade(server);
+        if (degrade > 1.0) {
+          // Degraded (e.g. rebuilding) server: reduced streaming rate, and
+          // the extent is retried once with backoff before succeeding.
+          bw /= degrade;
+          latency += cfg_.server_access_latency;
+          if (stats != nullptr) ++stats->retries;
+        }
+      }
+      server_busy[static_cast<std::size_t>(server)] +=
+          latency + double(take) / bw;
       pos += take;
     }
 
-    const auto ion = static_cast<std::size_t>(
-        partition_->ion_of_rank(a.client_rank));
-    ion_bytes[ion] += double(a.bytes);
+    std::int64_t ion = partition_->ion_of_rank(a.client_rank);
+    if (faulty && plan->ion_failed(ion)) {
+      ion = plan->next_live_ion(ion, partition_->num_ions());
+      if (stats != nullptr &&
+          client_rerouted[static_cast<std::size_t>(a.client_rank)] == 0) {
+        client_rerouted[static_cast<std::size_t>(a.client_rank)] = 1;
+        ++stats->rerouted_clients;
+      }
+    }
+    ion_bytes[static_cast<std::size_t>(ion)] += double(a.bytes);
     ++client_requests[static_cast<std::size_t>(a.client_rank)];
   }
 

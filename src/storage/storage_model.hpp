@@ -11,10 +11,17 @@
 // each ION serializes the bytes of the clients behind it, and the aggregate
 // cap models the share of the shared storage fabric one application sees
 // (DESIGN.md §4).
+// Fault awareness: a failed server's stripes fail over to the next live
+// server (each rerouted extent pays one extra request latency for the
+// failed attempt); a degraded server streams at a fraction of its bandwidth
+// and every extent on it pays a retry/backoff latency; clients behind a
+// failed ION are bridged by the next live sibling ION, concentrating its
+// load. All recovery targets are deterministic next-live scans.
 #pragma once
 
 #include <span>
 
+#include "fault/fault_plan.hpp"
 #include "machine/config.hpp"
 #include "machine/partition.hpp"
 #include "storage/access_log.hpp"
@@ -51,6 +58,14 @@ class StorageModel {
 
   /// Models one collective batch of reads (all requests issued together).
   IoCost read_cost(std::span<const PhysicalAccess> accesses) const;
+
+  /// Fault-aware batch cost: failed servers fail over, degraded servers
+  /// retry with backoff, clients behind failed IONs reroute to a sibling.
+  /// `plan` may be null (identical to the healthy overload); `stats`, if
+  /// non-null, accumulates retry/failover/reroute counters.
+  IoCost read_cost(std::span<const PhysicalAccess> accesses,
+                   const fault::FaultPlan* plan,
+                   fault::FaultStats* stats) const;
 
   /// The partition's aggregate fabric-share ceiling (bytes/s).
   double aggregate_cap() const;

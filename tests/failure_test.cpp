@@ -29,6 +29,49 @@ class TempDir {
   fs::path path_;
 };
 
+/// Expects constructing a renderer from `cfg` to throw pvr::Error whose
+/// message names the offending field.
+void expect_rejected(const core::ExperimentConfig& cfg,
+                     const std::string& field) {
+  try {
+    core::ParallelVolumeRenderer renderer(cfg);
+    FAIL() << "config with bad " << field << " was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "error message should name '" << field << "': " << e.what();
+  }
+}
+
+TEST(FailureTest, ConfigValidationNamesTheOffendingField) {
+  core::ExperimentConfig good;
+  good.num_ranks = 8;
+  good.dataset = format::supernova_desc(format::FileFormat::kRaw, 16);
+  good.image_width = good.image_height = 32;
+  EXPECT_NO_THROW(core::validate(good));
+
+  core::ExperimentConfig cfg = good;
+  cfg.num_ranks = 0;
+  expect_rejected(cfg, "num_ranks");
+  cfg = good;
+  cfg.num_ranks = -64;
+  expect_rejected(cfg, "num_ranks");
+  cfg = good;
+  cfg.image_width = 0;
+  expect_rejected(cfg, "image_width");
+  cfg = good;
+  cfg.image_height = -1600;
+  expect_rejected(cfg, "image_height");
+  cfg = good;
+  cfg.blocks_per_rank = 0;
+  expect_rejected(cfg, "blocks_per_rank");
+  cfg = good;
+  cfg.ghost = -1;
+  expect_rejected(cfg, "ghost");
+  cfg = good;
+  cfg.dataset.dims.z = 0;
+  expect_rejected(cfg, "dataset.dims");
+}
+
 TEST(FailureTest, TruncatedDataFileFailsTheRead) {
   TempDir dir;
   const auto desc = format::supernova_desc(format::FileFormat::kRaw, 16);

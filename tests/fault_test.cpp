@@ -1,0 +1,282 @@
+// Fault injection and recovery: deterministic plan generation, failover
+// helpers, the empty-plan identity of model_frame_with_faults, degraded
+// frames (dead compositors/renderers), and storage failover pricing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "fault/fault_plan.hpp"
+#include "machine/partition.hpp"
+#include "storage/storage_model.hpp"
+
+namespace pvr {
+namespace {
+
+machine::Partition make_partition(std::int64_t ranks) {
+  return machine::Partition(machine::MachineConfig{}, ranks);
+}
+
+core::ExperimentConfig small_config(std::int64_t ranks = 64) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 64);
+  cfg.variable = cfg.dataset.variables.front();
+  cfg.image_width = cfg.image_height = 128;
+  return cfg;
+}
+
+void expect_same_exchange(const net::ExchangeCost& a,
+                          const net::ExchangeCost& b) {
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.local_messages, b.local_messages);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  EXPECT_EQ(a.congestion_factor, b.congestion_factor);
+  EXPECT_EQ(a.link_seconds, b.link_seconds);
+  EXPECT_EQ(a.endpoint_seconds, b.endpoint_seconds);
+  EXPECT_EQ(a.latency_seconds, b.latency_seconds);
+  EXPECT_EQ(a.skew_seconds, b.skew_seconds);
+  EXPECT_EQ(a.retry_seconds, b.retry_seconds);
+}
+
+void expect_same_frame(const core::FrameStats& a, const core::FrameStats& b) {
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.render_seconds, b.render_seconds);
+  EXPECT_EQ(a.composite_seconds, b.composite_seconds);
+  EXPECT_EQ(a.io.seconds, b.io.seconds);
+  EXPECT_EQ(a.io.open_seconds, b.io.open_seconds);
+  EXPECT_EQ(a.io.useful_bytes, b.io.useful_bytes);
+  EXPECT_EQ(a.io.physical_bytes, b.io.physical_bytes);
+  EXPECT_EQ(a.io.accesses, b.io.accesses);
+  EXPECT_EQ(a.io.storage_cost.seconds, b.io.storage_cost.seconds);
+  EXPECT_EQ(a.io.storage_cost.server_seconds,
+            b.io.storage_cost.server_seconds);
+  EXPECT_EQ(a.io.storage_cost.ion_seconds, b.io.storage_cost.ion_seconds);
+  expect_same_exchange(a.io.shuffle_cost, b.io.shuffle_cost);
+  EXPECT_EQ(a.render.total_samples, b.render.total_samples);
+  EXPECT_EQ(a.render.max_rank_samples, b.render.max_rank_samples);
+  EXPECT_EQ(a.render.seconds, b.render.seconds);
+  EXPECT_EQ(a.composite.seconds, b.composite.seconds);
+  EXPECT_EQ(a.composite.blend_seconds, b.composite.blend_seconds);
+  EXPECT_EQ(a.composite.num_compositors, b.composite.num_compositors);
+  EXPECT_EQ(a.composite.messages, b.composite.messages);
+  EXPECT_EQ(a.composite.bytes, b.composite.bytes);
+  expect_same_exchange(a.composite.exchange, b.composite.exchange);
+}
+
+void expect_same_fault_stats(const fault::FaultStats& a,
+                             const fault::FaultStats& b) {
+  EXPECT_EQ(a.failed_nodes, b.failed_nodes);
+  EXPECT_EQ(a.failed_links, b.failed_links);
+  EXPECT_EQ(a.failed_ions, b.failed_ions);
+  EXPECT_EQ(a.failed_servers, b.failed_servers);
+  EXPECT_EQ(a.degraded_servers, b.degraded_servers);
+  EXPECT_EQ(a.undeliverable_messages, b.undeliverable_messages);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.rerouted_messages, b.rerouted_messages);
+  EXPECT_EQ(a.rerouted_hops, b.rerouted_hops);
+  EXPECT_EQ(a.reassigned_partitions, b.reassigned_partitions);
+  EXPECT_EQ(a.reassigned_aggregators, b.reassigned_aggregators);
+  EXPECT_EQ(a.dropped_blocks, b.dropped_blocks);
+  EXPECT_EQ(a.rerouted_clients, b.rerouted_clients);
+  EXPECT_EQ(a.failover_extents, b.failover_extents);
+  EXPECT_EQ(a.coverage, b.coverage);
+}
+
+TEST(FaultPlanTest, GenerateIsDeterministic) {
+  const auto part = make_partition(512);
+  fault::FaultSpec spec;
+  spec.seed = 42;
+  spec.node_fail_rate = 0.1;
+  spec.link_fail_rate = 0.02;
+  spec.ion_fail_rate = 0.5;
+  spec.server_fail_rate = 0.05;
+  spec.server_degrade_rate = 0.1;
+  const machine::StorageConfig storage;
+  const auto a = fault::FaultPlan::generate(part, storage, spec);
+  const auto b = fault::FaultPlan::generate(part, storage, spec);
+  for (std::int64_t n = 0; n < part.num_nodes(); ++n) {
+    EXPECT_EQ(a.node_failed(n), b.node_failed(n));
+  }
+  for (int s = 0; s < storage.num_servers; ++s) {
+    EXPECT_EQ(a.server_failed(s), b.server_failed(s));
+    EXPECT_EQ(a.server_degrade(s), b.server_degrade(s));
+  }
+  expect_same_fault_stats(a.census(), b.census());
+}
+
+TEST(FaultPlanTest, ZeroRatesGenerateAnEmptyPlan) {
+  const auto part = make_partition(64);
+  const auto plan = fault::FaultPlan::generate(part, machine::StorageConfig{},
+                                               fault::FaultSpec{});
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, GenerateAlwaysLeavesSurvivors) {
+  const auto part = make_partition(64);
+  fault::FaultSpec spec;
+  spec.node_fail_rate = 0.99;
+  spec.ion_fail_rate = 0.99;
+  spec.server_fail_rate = 0.99;
+  const machine::StorageConfig storage;
+  const auto plan = fault::FaultPlan::generate(part, storage, spec);
+  bool node_alive = false, server_alive = false;
+  for (std::int64_t n = 0; n < part.num_nodes(); ++n) {
+    node_alive = node_alive || !plan.node_failed(n);
+  }
+  for (int s = 0; s < storage.num_servers; ++s) {
+    server_alive = server_alive || !plan.server_failed(s);
+  }
+  EXPECT_TRUE(node_alive);
+  EXPECT_TRUE(server_alive);
+  EXPECT_FALSE(plan.ion_failed(plan.next_live_ion(0, part.num_ions())));
+}
+
+TEST(FaultPlanTest, GenerateRejectsBadSpecs) {
+  const auto part = make_partition(64);
+  const machine::StorageConfig storage;
+  fault::FaultSpec bad_rate;
+  bad_rate.node_fail_rate = 1.5;
+  EXPECT_THROW(fault::FaultPlan::generate(part, storage, bad_rate), Error);
+  fault::FaultSpec bad_degrade;
+  bad_degrade.server_degrade_factor = 0.5;
+  EXPECT_THROW(fault::FaultPlan::generate(part, storage, bad_degrade), Error);
+  fault::FaultSpec bad_retries;
+  bad_retries.max_retries = -1;
+  EXPECT_THROW(fault::FaultPlan::generate(part, storage, bad_retries), Error);
+}
+
+TEST(FaultPlanTest, NextLiveRankSkipsDeadNodesCyclically) {
+  const auto part = make_partition(8);  // 2 nodes, ranks 0-3 and 4-7
+  fault::FaultPlan plan;
+  plan.fail_node(0);
+  EXPECT_EQ(plan.next_live_rank(0, part), 4);
+  EXPECT_EQ(plan.next_live_rank(5, part), 5);
+  fault::FaultPlan wrap;
+  wrap.fail_node(1);
+  EXPECT_EQ(wrap.next_live_rank(6, part), 0);  // wraps past the end
+  fault::FaultPlan all;
+  all.fail_node(0);
+  all.fail_node(1);
+  EXPECT_THROW(all.next_live_rank(0, part), Error);
+}
+
+TEST(FaultFrameTest, EmptyPlanFrameIsIdenticalToHealthyFrame) {
+  core::ParallelVolumeRenderer renderer(small_config());
+  const core::FrameStats healthy = renderer.model_frame();
+  const core::FrameStats faulty =
+      renderer.model_frame_with_faults(fault::FaultPlan{});
+  expect_same_frame(healthy, faulty);
+  expect_same_fault_stats(faulty.faults, fault::FaultStats{});
+  EXPECT_EQ(faulty.faults.coverage, 1.0);
+}
+
+TEST(FaultFrameTest, DeadNodeDropsBlocksAndReassignsTiles) {
+  // 64 ranks -> 16 nodes; node 1 hosts ranks 4-7, which are both renderers
+  // and compositors. Killing it must (a) drop those ranks' blocks so pixel
+  // coverage < 100%, (b) reassign their tiles, and (c) force detours around
+  // the dead node's six links.
+  core::ParallelVolumeRenderer renderer(small_config(64));
+  fault::FaultPlan plan;
+  plan.fail_node(1);
+  const core::FrameStats stats = renderer.model_frame_with_faults(plan);
+
+  EXPECT_EQ(stats.faults.failed_nodes, 1);
+  EXPECT_EQ(stats.faults.dropped_blocks, 4);
+  EXPECT_GE(stats.faults.reassigned_partitions, 4);
+  EXPECT_LT(stats.faults.coverage, 1.0);
+  EXPECT_GT(stats.faults.coverage, 0.0);
+  EXPECT_GT(stats.faults.rerouted_messages, 0);
+  EXPECT_GT(stats.faults.rerouted_hops, 0);
+  EXPECT_GT(stats.total_seconds(), 0.0);
+
+  // The degraded frame must still be a complete frame: every stage priced.
+  EXPECT_GT(stats.io_seconds, 0.0);
+  EXPECT_GT(stats.render_seconds, 0.0);
+  EXPECT_GT(stats.composite_seconds, 0.0);
+}
+
+TEST(FaultFrameTest, GeneratedPlanFrameIsReproducible) {
+  fault::FaultSpec spec;
+  spec.seed = 7;
+  spec.node_fail_rate = 0.1;
+  spec.link_fail_rate = 0.02;
+  spec.server_fail_rate = 0.05;
+  spec.server_degrade_rate = 0.1;
+
+  core::FrameStats runs[2];
+  for (auto& run : runs) {
+    core::ParallelVolumeRenderer renderer(small_config(64));
+    const auto plan = fault::FaultPlan::generate(
+        renderer.partition(), renderer.config().storage, spec);
+    run = renderer.model_frame_with_faults(plan);
+  }
+  expect_same_frame(runs[0], runs[1]);
+  expect_same_fault_stats(runs[0].faults, runs[1].faults);
+  EXPECT_GT(runs[0].faults.failed_nodes, 0);
+}
+
+TEST(FaultStorageTest, FailedServerFailsOverAtACost) {
+  const auto part = make_partition(512);
+  machine::StorageConfig cfg;
+  cfg.num_servers = 8;
+  const storage::StorageModel model(part, cfg);
+  // Small accesses all striped onto server 0, so the per-server queue (the
+  // term failover doubles) dominates the cost.
+  std::vector<storage::PhysicalAccess> accesses;
+  for (int i = 0; i < 64; ++i) {
+    accesses.push_back(
+        {i * cfg.stripe_bytes * cfg.num_servers, 4096, i % 32});
+  }
+  const storage::IoCost healthy = model.read_cost(accesses);
+
+  fault::FaultPlan plan;
+  plan.fail_server(0);
+  fault::FaultStats stats;
+  const storage::IoCost faulty = model.read_cost(accesses, &plan, &stats);
+  EXPECT_GT(stats.failover_extents, 0);
+  EXPECT_GT(stats.retries, 0);
+  EXPECT_GT(faulty.seconds, healthy.seconds);
+}
+
+TEST(FaultStorageTest, DegradedServerIsSlower) {
+  const auto part = make_partition(512);
+  machine::StorageConfig cfg;
+  cfg.num_servers = 8;
+  const storage::StorageModel model(part, cfg);
+  std::vector<storage::PhysicalAccess> accesses;
+  for (int i = 0; i < 64; ++i) {
+    accesses.push_back(
+        {i * cfg.stripe_bytes * cfg.num_servers, 4096, i % 32});
+  }
+  const storage::IoCost healthy = model.read_cost(accesses);
+
+  fault::FaultPlan plan;
+  plan.degrade_server(0, 4.0);
+  fault::FaultStats stats;
+  const storage::IoCost faulty = model.read_cost(accesses, &plan, &stats);
+  EXPECT_GT(stats.retries, 0);
+  EXPECT_GT(faulty.seconds, healthy.seconds);
+}
+
+TEST(FaultStorageTest, DeadIonReroutesItsClients) {
+  const auto part = make_partition(512);  // 128 nodes -> 2 IONs
+  ASSERT_EQ(part.num_ions(), 2);
+  const storage::StorageModel model(part, machine::StorageConfig{});
+  // Clients on both IONs (ION 0 bridges nodes 0-63 = ranks 0-255).
+  std::vector<storage::PhysicalAccess> accesses;
+  for (int i = 0; i < 32; ++i) {
+    accesses.push_back({i * (4 << 20), 4 << 20, i * 16});
+  }
+  fault::FaultPlan plan;
+  plan.fail_ion(0);
+  fault::FaultStats stats;
+  const storage::IoCost faulty = model.read_cost(accesses, &plan, &stats);
+  EXPECT_GT(stats.rerouted_clients, 0);
+  EXPECT_GT(faulty.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pvr

@@ -1,8 +1,10 @@
-// Unit tests for pvr::net — torus routing, exchange cost model, tree model.
+// Unit tests for pvr::net — torus routing, exchange cost model, tree model,
+// fault-aware routing and exchange pricing.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "machine/partition.hpp"
 #include "net/torus.hpp"
 #include "net/tree.hpp"
@@ -151,6 +153,148 @@ TEST(TorusExchangeTest, SkewGrowsWithPartition) {
   const ExchangeCost cs = TorusModel(small).exchange(one);
   const ExchangeCost cl = TorusModel(large).exchange(one);
   EXPECT_LT(cs.skew_seconds, cl.skew_seconds);
+}
+
+TEST(TorusRoutingTest, WraparoundTieBreakPrefersPlusDirection) {
+  // 8x8x8 nodes: nodes 0 and 4 are equidistant both ways around the x ring
+  // (4 hops each); the route must deterministically take the + direction.
+  const auto part = make_partition(2048);
+  ASSERT_EQ(part.torus_dims(), (Vec3i{8, 8, 8}));
+  const TorusModel torus(part);
+  std::vector<LinkId> links;
+  const std::int64_t hops =
+      torus.route(0, 4, [&](const LinkId& l) { links.push_back(l); });
+  EXPECT_EQ(hops, 4);
+  ASSERT_EQ(links.size(), 4u);
+  for (const LinkId& l : links) {
+    EXPECT_EQ(l.dim, 0);
+    EXPECT_EQ(l.dir, 0);  // + on ties
+  }
+  // A strictly shorter backward path must still go backward (0 -> 6 is two
+  // hops in -x, six in +x).
+  links.clear();
+  EXPECT_EQ(torus.route(0, 6, [&](const LinkId& l) { links.push_back(l); }),
+            2);
+  for (const LinkId& l : links) EXPECT_EQ(l.dir, 1);
+}
+
+TEST(TorusExchangeTest, ZeroByteMessageStillCostsTime) {
+  // A zero-byte message crosses the network and pays software overhead,
+  // latency, and skew — it is not free.
+  const auto part = make_partition(64);
+  const TorusModel torus(part);
+  const std::vector<Transfer> transfers = {{0, 63, 0}};
+  const ExchangeCost cost = torus.exchange(transfers);
+  EXPECT_EQ(cost.messages, 1);
+  EXPECT_EQ(cost.total_bytes, 0);
+  EXPECT_GT(cost.seconds, 0.0);
+  EXPECT_GT(cost.endpoint_seconds, 0.0);
+}
+
+TEST(TorusFaultTest, EmptyPlanRouteMatchesPlainRoute) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  const fault::FaultPlan empty;
+  std::int64_t visited = 0;
+  const FaultRoute fr =
+      torus.route_with_faults(0, 37, empty, [&](const LinkId&) { ++visited; });
+  EXPECT_TRUE(fr.reachable);
+  EXPECT_FALSE(fr.detoured);
+  EXPECT_EQ(fr.hops, torus.route(0, 37, [](const LinkId&) {}));
+  EXPECT_EQ(fr.hops, visited);
+}
+
+TEST(TorusFaultTest, DetoursAroundAFailedLink) {
+  const auto part = make_partition(256);  // 64 nodes, 4x4x4
+  const TorusModel torus(part);
+  fault::FaultPlan plan;
+  plan.fail_link(0, 0, 0);  // the one-hop +x link 0 -> 1
+  std::vector<LinkId> links;
+  const FaultRoute fr = torus.route_with_faults(
+      0, 1, plan, [&](const LinkId& l) { links.push_back(l); });
+  EXPECT_TRUE(fr.reachable);
+  EXPECT_TRUE(fr.detoured);
+  EXPECT_EQ(fr.hops, 3);  // shortest live path around the dead link
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links.front().node, 0);
+  for (const LinkId& l : links) EXPECT_TRUE(torus.link_usable(l, plan));
+}
+
+TEST(TorusFaultTest, DeadNodeKillsItsLinks) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  fault::FaultPlan plan;
+  plan.fail_node(1);
+  // Outgoing links of the dead node and links into it are both unusable.
+  EXPECT_FALSE(torus.link_usable(LinkId{1, 0, 0}, plan));
+  EXPECT_FALSE(torus.link_usable(LinkId{0, 0, 0}, plan));  // 0 -> 1
+  EXPECT_TRUE(torus.link_usable(LinkId{0, 1, 0}, plan));   // 0 -> 4 lives
+}
+
+TEST(TorusFaultTest, DeadEndpointIsUnreachable) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  fault::FaultPlan plan;
+  plan.fail_node(1);
+  std::int64_t visited = 0;
+  const FaultRoute fr =
+      torus.route_with_faults(0, 1, plan, [&](const LinkId&) { ++visited; });
+  EXPECT_FALSE(fr.reachable);
+  EXPECT_EQ(fr.hops, 0);
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(TorusFaultTest, ExchangeCountsUndeliverableAndChargesRetries) {
+  const auto part = make_partition(64);  // 16 nodes; node 15 = ranks 60-63
+  const TorusModel torus(part);
+  fault::FaultPlan plan;
+  plan.fail_node(15);
+  fault::FaultStats stats;
+  const std::vector<Transfer> transfers = {{0, 60, 4096}};
+  const ExchangeCost cost = torus.exchange(transfers, 1, &plan, &stats);
+  EXPECT_EQ(stats.undeliverable_messages, 1);
+  EXPECT_EQ(stats.retries, plan.spec().max_retries);
+  // The message never enters the round, but the live sender stalls.
+  EXPECT_EQ(cost.messages, 0);
+  EXPECT_EQ(cost.total_bytes, 0);
+  EXPECT_DOUBLE_EQ(
+      cost.retry_seconds,
+      double(plan.spec().max_retries) * plan.spec().retry_timeout);
+  EXPECT_GT(cost.seconds, 0.0);
+}
+
+TEST(TorusFaultTest, ExchangeWithEmptyPlanIsIdenticalToHealthy) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  std::vector<Transfer> transfers;
+  for (std::int64_t r = 0; r < 256; r += 5) {
+    transfers.push_back({r, (r * 31 + 7) % 256, 2000 + r});
+  }
+  const fault::FaultPlan empty;
+  fault::FaultStats stats;
+  const ExchangeCost healthy = torus.exchange(transfers);
+  const ExchangeCost faulty = torus.exchange(transfers, 1, &empty, &stats);
+  EXPECT_EQ(healthy.seconds, faulty.seconds);
+  EXPECT_EQ(healthy.messages, faulty.messages);
+  EXPECT_EQ(healthy.total_bytes, faulty.total_bytes);
+  EXPECT_EQ(healthy.link_seconds, faulty.link_seconds);
+  EXPECT_EQ(healthy.endpoint_seconds, faulty.endpoint_seconds);
+  EXPECT_EQ(stats.undeliverable_messages, 0);
+  EXPECT_EQ(stats.rerouted_messages, 0);
+}
+
+TEST(TorusFaultTest, DetouredExchangeChargesTheExtraHops) {
+  const auto part = make_partition(256);
+  const TorusModel torus(part);
+  fault::FaultPlan plan;
+  plan.fail_link(0, 0, 0);
+  fault::FaultStats stats;
+  const std::vector<Transfer> transfers = {{0, 4, 65536}};  // node 0 -> 1
+  const ExchangeCost cost = torus.exchange(transfers, 1, &plan, &stats);
+  EXPECT_EQ(stats.rerouted_messages, 1);
+  EXPECT_EQ(stats.rerouted_hops, 3);
+  EXPECT_EQ(cost.max_hops, 3);
+  EXPECT_EQ(cost.messages, 1);
 }
 
 TEST(TreeModelTest, DepthAndBarrier) {
