@@ -4,10 +4,17 @@
 // scale), prints the paper-style table, and registers one google-benchmark
 // entry per row whose manual time is the modeled seconds — so standard
 // benchmark tooling (filters, JSON output) works over the reproduction.
+//
+// Machine-readable output: every row registered via register_sim is also
+// recorded, and run_benchmarks writes them (plus any bench_config_set
+// entries) to bench_out/<binary-name>.json next to the working directory —
+// so sweep results can be diffed and plotted without scraping tables.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,10 +48,36 @@ inline ExperimentConfig paper_config(
   return cfg;
 }
 
-/// Registers a benchmark whose reported time is precomputed modeled seconds.
+/// One recorded sweep row: benchmark name, modeled seconds, extra counters.
+struct SimRow {
+  std::string name;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline std::vector<SimRow>& sim_rows() {
+  static std::vector<SimRow> rows;
+  return rows;
+}
+
+/// Key/value configuration entries echoed into the JSON output (grid size,
+/// policies, seeds — whatever identifies the sweep).
+inline std::vector<std::pair<std::string, std::string>>& bench_config() {
+  static std::vector<std::pair<std::string, std::string>> entries;
+  return entries;
+}
+
+inline void bench_config_set(const std::string& key,
+                             const std::string& value) {
+  bench_config().emplace_back(key, value);
+}
+
+/// Registers a benchmark whose reported time is precomputed modeled seconds,
+/// and records the row for the JSON dump written by run_benchmarks.
 inline void register_sim(
     const std::string& name, double seconds,
     std::vector<std::pair<std::string, double>> counters = {}) {
+  sim_rows().push_back(SimRow{name, seconds, counters});
   benchmark::RegisterBenchmark(
       name.c_str(),
       [seconds, counters = std::move(counters)](benchmark::State& state) {
@@ -60,8 +93,68 @@ inline void register_sim(
       ->Unit(benchmark::kSecond);
 }
 
-/// Initializes and runs google-benchmark (after tables were printed).
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+/// Renders the recorded rows + config as a JSON document.
+inline std::string bench_json(const std::string& name) {
+  std::string out = "{\n  \"bench\": \"" + detail::json_escape(name) +
+                    "\",\n  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : bench_config()) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + detail::json_escape(key) + "\": \"" +
+           detail::json_escape(value) + "\"";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"rows\": [";
+  first = true;
+  for (const SimRow& row : sim_rows()) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"" + detail::json_escape(row.name) +
+           "\", \"seconds\": " + detail::json_number(row.seconds);
+    for (const auto& [key, value] : row.counters) {
+      out += ", \"" + detail::json_escape(key) +
+             "\": " + detail::json_number(value);
+    }
+    out += "}";
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+/// Writes bench_out/<binary-name>.json with every registered row.
+inline void write_bench_json(const char* argv0) {
+  const std::string name = std::filesystem::path(argv0).stem().string();
+  std::filesystem::create_directories("bench_out");
+  const std::string path = "bench_out/" + name + ".json";
+  pvr::obs::write_text_file(path, bench_json(name));
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), sim_rows().size());
+}
+
+/// Initializes and runs google-benchmark (after tables were printed), and
+/// dumps the recorded rows to bench_out/<binary-name>.json.
 inline int run_benchmarks(int argc, char** argv) {
+  write_bench_json(argv[0]);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

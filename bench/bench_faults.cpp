@@ -11,6 +11,12 @@ int main(int argc, char** argv) {
   using pvr::fault::FaultPlan;
   using pvr::fault::FaultSpec;
 
+  bench_config_set("study", "fault injection");
+  bench_config_set("size", "1120^3/1600^2");
+  bench_config_set("seed", "42");
+  bench_config_set("rates", "0%, 0.5%, 1%, 2%, 5% at 4096 procs; "
+                            "1% at 256..4096 procs");
+
   // --- Sweep 1: failure rate at a fixed 4096-core partition. ---
   {
     pvr::TextTable table(

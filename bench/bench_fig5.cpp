@@ -12,6 +12,10 @@ int main(int argc, char** argv) {
     int image;
   };
   const Size sizes[] = {{1120, 1600}, {2240, 2048}, {4480, 4096}};
+  bench_config_set("figure", "5");
+  bench_config_set("sizes", "1120^3/1600^2, 2240^3/2048^2, 4480^3/4096^2");
+  bench_config_set("procs", "64..32768");
+  bench_config_set("policy", "improved direct-send");
 
   pvr::TextTable table("Figure 5 — Overall performance summary (seconds)");
   table.set_header({"procs", "1120^3/1600^2", "2240^3/2048^2",

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pvr::compose {
@@ -62,6 +63,10 @@ CompositeStats BinarySwapCompositor::run(
   }
   const bool execute = !subimages.empty();
   const int rounds = ilog2(n);
+  obs::Tracer* tracer = rt_->tracer();
+  obs::ScopedSpan span(tracer, "composite.binary_swap",
+                       obs::Category::kComposite);
+  if (tracer != nullptr) span.arg("rounds", double(rounds));
 
   CompositeStats stats;
   stats.num_compositors = n;
@@ -157,15 +162,30 @@ CompositeStats BinarySwapCompositor::run(
         }
       };
     }
+    obs::ScopedSpan round_span(tracer, "composite.round",
+                               obs::Category::kComposite);
+    if (tracer != nullptr) round_span.arg("round", double(round));
     stats.exchange.seconds +=
         rt_->exchange_messages(std::move(messages), consume).seconds;
-    stats.blend_seconds += double(worst_blend) / mcfg.blends_per_second;
+    const double round_blend = double(worst_blend) / mcfg.blends_per_second;
+    if (tracer != nullptr) {
+      obs::ScopedSpan blend_span(tracer, "composite.blend",
+                                 obs::Category::kCompute);
+      blend_span.arg("worst_blend_pixels", double(worst_blend));
+      tracer->advance(round_blend);
+    }
+    stats.blend_seconds += round_blend;
     for (std::int64_t r = 0; r < n; ++r) region[std::size_t(r)] = kept[std::size_t(r)];
   }
 
   stats.exchange.messages = stats.messages;
   stats.exchange.total_bytes = stats.bytes;
   stats.seconds = stats.exchange.seconds + stats.blend_seconds;
+  if (tracer != nullptr) {
+    span.arg("compositors", double(stats.num_compositors));
+    span.arg("messages", double(stats.messages));
+    span.arg("bytes", double(stats.bytes));
+  }
 
   if (execute && out != nullptr) {
     *out = Image(width, height);

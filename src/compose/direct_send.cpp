@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pvr::compose {
@@ -76,6 +77,10 @@ CompositeStats DirectSendCompositor::run(
     std::span<const render::SubImage> subimages, int width, int height,
     Image* out) {
   const bool execute = !subimages.empty();
+  obs::Tracer* tracer = rt_->tracer();
+  obs::ScopedSpan span(tracer, "composite.direct_send",
+                       obs::Category::kComposite);
+
   const std::int64_t m = compositor_count();
   const ImagePartition partition(width, height, m);
   const std::vector<ScheduledMessage> schedule =
@@ -103,6 +108,12 @@ CompositeStats DirectSendCompositor::run(
       if (plan->rank_failed(t, mpart)) {
         owner = plan->next_live_rank(t, mpart);
         if (fstats != nullptr) ++fstats->reassigned_partitions;
+        if (tracer != nullptr) {
+          tracer->instant("fault.tile_reassigned", obs::Category::kFault,
+                          {{"tile", double(t)},
+                           {"from_rank", double(t)},
+                           {"to_rank", double(owner)}});
+        }
       }
       tile_owner[std::size_t(t)] = owner;
     }
@@ -193,7 +204,18 @@ CompositeStats DirectSendCompositor::run(
           : *std::max_element(blend_pixels.begin(), blend_pixels.end());
   stats.blend_seconds =
       double(worst_blend) / rt_->partition().config().blends_per_second;
+  if (tracer != nullptr) {
+    obs::ScopedSpan blend_span(tracer, "composite.blend",
+                               obs::Category::kCompute);
+    blend_span.arg("worst_blend_pixels", double(worst_blend));
+    tracer->advance(stats.blend_seconds);
+  }
   stats.seconds = stats.exchange.seconds + stats.blend_seconds;
+  if (tracer != nullptr) {
+    span.arg("compositors", double(stats.num_compositors));
+    span.arg("messages", double(stats.messages));
+    span.arg("bytes", double(stats.bytes));
+  }
 
   if (execute && out != nullptr) {
     *out = Image(width, height);

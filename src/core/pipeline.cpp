@@ -66,6 +66,7 @@ runtime::Runtime& ParallelVolumeRenderer::model_rt() {
   if (!model_rt_) {
     model_rt_ = std::make_unique<runtime::Runtime>(*partition_,
                                                    runtime::Mode::kModel);
+    model_rt_->set_tracer(tracer_);
   }
   return *model_rt_;
 }
@@ -74,8 +75,15 @@ runtime::Runtime& ParallelVolumeRenderer::execute_rt() {
   if (!execute_rt_) {
     execute_rt_ = std::make_unique<runtime::Runtime>(*partition_,
                                                      runtime::Mode::kExecute);
+    execute_rt_->set_tracer(tracer_);
   }
   return *execute_rt_;
+}
+
+void ParallelVolumeRenderer::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (model_rt_) model_rt_->set_tracer(tracer);
+  if (execute_rt_) execute_rt_->set_tracer(tracer);
 }
 
 std::vector<iolib::RankBlock> ParallelVolumeRenderer::io_blocks() const {
@@ -163,13 +171,34 @@ compose::CompositeStats ParallelVolumeRenderer::model_radix_k(int radix) {
 
 FrameStats ParallelVolumeRenderer::model_frame() {
   FrameStats stats;
-  stats.io = model_io();
-  stats.io_seconds = stats.io.seconds;
-  stats.render = model_render();
-  stats.render_seconds = stats.render.seconds;
-  stats.composite = model_composite(config_.composite.policy,
-                                    config_.composite.fixed_compositors);
-  stats.composite_seconds = stats.composite.seconds;
+  obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
+  {
+    obs::ScopedSpan stage(tracer_, "stage.io", obs::Category::kIo);
+    stats.io = model_io();
+    stats.io_seconds = stats.io.seconds;
+  }
+  {
+    // The render model prices the stage without touching the runtime, so
+    // the stage span advances the clock itself.
+    obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
+    stats.render = model_render();
+    stats.render_seconds = stats.render.seconds;
+    if (tracer_ != nullptr) {
+      stage.arg("total_samples", double(stats.render.total_samples));
+      stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      tracer_->advance(stats.render_seconds);
+    }
+  }
+  {
+    obs::ScopedSpan stage(tracer_, "stage.composite",
+                          obs::Category::kComposite);
+    stats.composite = model_composite(config_.composite.policy,
+                                      config_.composite.fixed_compositors);
+    stats.composite_seconds = stats.composite.seconds;
+  }
+  if (tracer_ != nullptr) {
+    stats.trace = obs::summarize_frame(*tracer_, frame.close());
+  }
   return stats;
 }
 
@@ -202,30 +231,68 @@ FrameStats ParallelVolumeRenderer::model_frame_with_faults(
   stats.faults = plan.census();
   const FaultScope scope(rt, plan, &stats.faults);
 
+  obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
+  if (tracer_ != nullptr) {
+    tracer_->instant(
+        "fault.plan_armed", obs::Category::kFault,
+        {{"failed_nodes", double(stats.faults.failed_nodes)},
+         {"failed_links", double(stats.faults.failed_links)},
+         {"failed_ions", double(stats.faults.failed_ions)},
+         {"failed_servers", double(stats.faults.failed_servers)},
+         {"degraded_servers", double(stats.faults.degraded_servers)}});
+  }
+
   // --- Stage 1: collective read; dead ranks request nothing. ---
-  auto blocks = io_blocks();
-  const std::size_t before = blocks.size();
-  std::erase_if(blocks, [&](const iolib::RankBlock& b) {
-    return plan.rank_failed(b.rank, *partition_);
-  });
-  stats.faults.dropped_blocks += std::int64_t(before - blocks.size());
-  iolib::CollectiveReader reader(rt, *storage_, config_.hints);
-  stats.io = reader.read(*layout_, variable_, blocks, nullptr, {});
-  stats.io_seconds = stats.io.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.io", obs::Category::kIo);
+    auto blocks = io_blocks();
+    const std::size_t before = blocks.size();
+    std::erase_if(blocks, [&](const iolib::RankBlock& b) {
+      return plan.rank_failed(b.rank, *partition_);
+    });
+    stats.faults.dropped_blocks += std::int64_t(before - blocks.size());
+    if (tracer_ != nullptr && before != blocks.size()) {
+      tracer_->instant("fault.blocks_dropped", obs::Category::kFault,
+                       {{"blocks", double(before - blocks.size())}});
+    }
+    iolib::CollectiveReader reader(rt, *storage_, config_.hints);
+    stats.io = reader.read(*layout_, variable_, blocks, nullptr, {});
+    stats.io_seconds = stats.io.seconds;
+  }
 
   // --- Stage 2: dead ranks render nothing; straggler is the worst live
   // rank. ---
-  const render::RenderModel rmodel(config_.machine);
-  stats.render = rmodel.estimate(
-      *decomp_, config_.num_ranks, camera_, config_.render,
-      [&](std::int64_t rank) { return !plan.rank_failed(rank, *partition_); });
-  stats.render_seconds = stats.render.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
+    const render::RenderModel rmodel(config_.machine);
+    stats.render = rmodel.estimate(
+        *decomp_, config_.num_ranks, camera_, config_.render,
+        [&](std::int64_t rank) {
+          return !plan.rank_failed(rank, *partition_);
+        });
+    stats.render_seconds = stats.render.seconds;
+    if (tracer_ != nullptr) {
+      stage.arg("total_samples", double(stats.render.total_samples));
+      stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      tracer_->advance(stats.render_seconds);
+    }
+  }
 
   // --- Stage 3: direct-send compositing reads the fault state from the
   // runtime (tile reassignment, dropped fragments, coverage). ---
-  stats.composite = model_composite(config_.composite.policy,
-                                    config_.composite.fixed_compositors);
-  stats.composite_seconds = stats.composite.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.composite",
+                          obs::Category::kComposite);
+    stats.composite = model_composite(config_.composite.policy,
+                                      config_.composite.fixed_compositors);
+    stats.composite_seconds = stats.composite.seconds;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant("fault.recovery_complete", obs::Category::kFault,
+                     {{"retries", double(stats.faults.retries)},
+                      {"coverage", stats.faults.coverage}});
+    stats.trace = obs::summarize_frame(*tracer_, frame.close());
+  }
   return stats;
 }
 
@@ -234,64 +301,100 @@ void ParallelVolumeRenderer::execute_render_and_composite(
   runtime::Runtime& rt = execute_rt();
 
   // --- Stage 2: ray casting, real samples. ---
-  const render::Raycaster caster(config_.dataset.dims, config_.render);
-  const render::TransferFunction tf = render::TransferFunction::supernova();
-  const auto infos = screen_blocks();
-  PVR_ASSERT(bricks.size() == infos.size());
   std::vector<render::SubImage> subimages;
-  subimages.reserve(infos.size());
-  std::vector<std::int64_t> rank_samples(std::size_t(config_.num_ranks), 0);
-  for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
-    render::SubImage sub = caster.render_block(
-        bricks[std::size_t(b)], decomp_->block_box(b), camera_, tf);
-    rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
-    subimages.push_back(std::move(sub));
+  std::vector<compose::BlockScreenInfo> infos;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
+    const render::Raycaster caster(config_.dataset.dims, config_.render);
+    const render::TransferFunction tf = render::TransferFunction::supernova();
+    infos = screen_blocks();
+    PVR_ASSERT(bricks.size() == infos.size());
+    subimages.reserve(infos.size());
+    std::vector<std::int64_t> rank_samples(std::size_t(config_.num_ranks), 0);
+    for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
+      render::SubImage sub = caster.render_block(
+          bricks[std::size_t(b)], decomp_->block_box(b), camera_, tf);
+      rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
+      subimages.push_back(std::move(sub));
+    }
+    const render::RenderModel rmodel(config_.machine);
+    stats->render.total_samples = 0;
+    for (const auto& s : subimages) stats->render.total_samples += s.samples;
+    stats->render.max_rank_samples =
+        *std::max_element(rank_samples.begin(), rank_samples.end());
+    // Execute mode charges the *actual* straggler's samples (measured load
+    // imbalance), so no modeled imbalance factor is applied.
+    stats->render.seconds =
+        rmodel.seconds_for_samples(stats->render.max_rank_samples);
+    stats->render_seconds = stats->render.seconds;
+    if (tracer_ != nullptr) {
+      stage.arg("total_samples", double(stats->render.total_samples));
+      stage.arg("max_rank_samples", double(stats->render.max_rank_samples));
+      tracer_->advance(stats->render_seconds);
+    }
   }
-  const render::RenderModel rmodel(config_.machine);
-  stats->render.total_samples = 0;
-  for (const auto& s : subimages) stats->render.total_samples += s.samples;
-  stats->render.max_rank_samples =
-      *std::max_element(rank_samples.begin(), rank_samples.end());
-  // Execute mode charges the *actual* straggler's samples (measured load
-  // imbalance), so no modeled imbalance factor is applied.
-  stats->render.seconds =
-      rmodel.seconds_for_samples(stats->render.max_rank_samples);
-  stats->render_seconds = stats->render.seconds;
 
   // --- Stage 3: direct-send compositing with real pixels. ---
-  compose::DirectSendCompositor compositor(rt, config_.composite);
-  stats->composite = compositor.execute(
-      infos, subimages, config_.image_width, config_.image_height, out);
-  stats->composite_seconds = stats->composite.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.composite",
+                          obs::Category::kComposite);
+    compose::DirectSendCompositor compositor(rt, config_.composite);
+    stats->composite = compositor.execute(
+        infos, subimages, config_.image_width, config_.image_height, out);
+    stats->composite_seconds = stats->composite.seconds;
+  }
 }
 
 FrameStats ParallelVolumeRenderer::execute_frame(const std::string& path,
                                                  Image* out) {
   runtime::Runtime& rt = execute_rt();
   FrameStats stats;
+  obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
 
   // --- Stage 1: collective read into per-rank bricks (with ghost). ---
-  format::DiskFile file(path, format::DiskFile::OpenMode::kRead);
   const auto blocks = io_blocks();
   std::vector<Brick> bricks;
   bricks.reserve(blocks.size());
   for (const auto& b : blocks) bricks.push_back(Brick(b.box));
-  iolib::CollectiveReader reader(rt, *storage_, config_.hints);
-  stats.io = reader.read(*layout_, variable_, blocks, &file, bricks);
-  stats.io_seconds = stats.io.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.io", obs::Category::kIo);
+    format::DiskFile file(path, format::DiskFile::OpenMode::kRead);
+    iolib::CollectiveReader reader(rt, *storage_, config_.hints);
+    stats.io = reader.read(*layout_, variable_, blocks, &file, bricks);
+    stats.io_seconds = stats.io.seconds;
+  }
 
   execute_render_and_composite(bricks, &stats, out);
+  if (tracer_ != nullptr) {
+    stats.trace = obs::summarize_frame(*tracer_, frame.close());
+  }
   return stats;
 }
 
 FrameStats ParallelVolumeRenderer::model_insitu_frame() {
   FrameStats stats;
+  obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
   // No I/O stage: the simulation's data is already in each rank's memory.
-  stats.render = model_render();
-  stats.render_seconds = stats.render.seconds;
-  stats.composite = model_composite(config_.composite.policy,
-                                    config_.composite.fixed_compositors);
-  stats.composite_seconds = stats.composite.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
+    stats.render = model_render();
+    stats.render_seconds = stats.render.seconds;
+    if (tracer_ != nullptr) {
+      stage.arg("total_samples", double(stats.render.total_samples));
+      stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      tracer_->advance(stats.render_seconds);
+    }
+  }
+  {
+    obs::ScopedSpan stage(tracer_, "stage.composite",
+                          obs::Category::kComposite);
+    stats.composite = model_composite(config_.composite.policy,
+                                      config_.composite.fixed_compositors);
+    stats.composite_seconds = stats.composite.seconds;
+  }
+  if (tracer_ != nullptr) {
+    stats.trace = obs::summarize_frame(*tracer_, frame.close());
+  }
   return stats;
 }
 
@@ -300,11 +403,11 @@ FrameStats ParallelVolumeRenderer::execute_frame_bivariate(
     const render::BivariateTransferFunction& tf, Image* out) {
   runtime::Runtime& rt = execute_rt();
   FrameStats stats;
+  obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
 
   // --- Stage 1: one collective read covering both variables. ---
   const int vars[] = {variable_,
                       config_.dataset.variable_index(opacity_variable)};
-  format::DiskFile file(path, format::DiskFile::OpenMode::kRead);
   const auto blocks = io_blocks();
   std::vector<Brick> bricks;  // variable-major per block
   bricks.reserve(blocks.size() * 2);
@@ -312,36 +415,56 @@ FrameStats ParallelVolumeRenderer::execute_frame_bivariate(
     bricks.push_back(Brick(b.box));
     bricks.push_back(Brick(b.box));
   }
-  iolib::CollectiveReader reader(rt, *storage_, config_.hints);
-  stats.io = reader.read_vars(*layout_, vars, blocks, &file, bricks);
-  stats.io_seconds = stats.io.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.io", obs::Category::kIo);
+    format::DiskFile file(path, format::DiskFile::OpenMode::kRead);
+    iolib::CollectiveReader reader(rt, *storage_, config_.hints);
+    stats.io = reader.read_vars(*layout_, vars, blocks, &file, bricks);
+    stats.io_seconds = stats.io.seconds;
+  }
 
   // --- Stage 2: bivariate ray casting. ---
-  const render::Raycaster caster(config_.dataset.dims, config_.render);
   const auto infos = screen_blocks();
   std::vector<render::SubImage> subimages;
-  subimages.reserve(infos.size());
-  std::vector<std::int64_t> rank_samples(std::size_t(config_.num_ranks), 0);
-  for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
-    render::SubImage sub = caster.render_block_bivariate(
-        bricks[std::size_t(b) * 2], bricks[std::size_t(b) * 2 + 1],
-        decomp_->block_box(b), camera_, tf);
-    rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
-    subimages.push_back(std::move(sub));
+  {
+    obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
+    const render::Raycaster caster(config_.dataset.dims, config_.render);
+    subimages.reserve(infos.size());
+    std::vector<std::int64_t> rank_samples(std::size_t(config_.num_ranks), 0);
+    for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
+      render::SubImage sub = caster.render_block_bivariate(
+          bricks[std::size_t(b) * 2], bricks[std::size_t(b) * 2 + 1],
+          decomp_->block_box(b), camera_, tf);
+      rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
+      subimages.push_back(std::move(sub));
+    }
+    const render::RenderModel rmodel(config_.machine);
+    for (const auto& s : subimages) stats.render.total_samples += s.samples;
+    stats.render.max_rank_samples =
+        *std::max_element(rank_samples.begin(), rank_samples.end());
+    stats.render.seconds =
+        rmodel.seconds_for_samples(stats.render.max_rank_samples);
+    stats.render_seconds = stats.render.seconds;
+    if (tracer_ != nullptr) {
+      stage.arg("total_samples", double(stats.render.total_samples));
+      stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      tracer_->advance(stats.render_seconds);
+    }
   }
-  const render::RenderModel rmodel(config_.machine);
-  for (const auto& s : subimages) stats.render.total_samples += s.samples;
-  stats.render.max_rank_samples =
-      *std::max_element(rank_samples.begin(), rank_samples.end());
-  stats.render.seconds =
-      rmodel.seconds_for_samples(stats.render.max_rank_samples);
-  stats.render_seconds = stats.render.seconds;
 
   // --- Stage 3: compositing is variable-agnostic. ---
-  compose::DirectSendCompositor compositor(rt, config_.composite);
-  stats.composite = compositor.execute(infos, subimages, config_.image_width,
-                                       config_.image_height, out);
-  stats.composite_seconds = stats.composite.seconds;
+  {
+    obs::ScopedSpan stage(tracer_, "stage.composite",
+                          obs::Category::kComposite);
+    compose::DirectSendCompositor compositor(rt, config_.composite);
+    stats.composite = compositor.execute(infos, subimages,
+                                         config_.image_width,
+                                         config_.image_height, out);
+    stats.composite_seconds = stats.composite.seconds;
+  }
+  if (tracer_ != nullptr) {
+    stats.trace = obs::summarize_frame(*tracer_, frame.close());
+  }
   return stats;
 }
 
@@ -357,7 +480,11 @@ FrameStats ParallelVolumeRenderer::execute_insitu_frame(
     field.fill_brick(var, config_.dataset.dims, &brick);
     bricks.push_back(std::move(brick));
   }
+  obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
   execute_render_and_composite(bricks, &stats, out);
+  if (tracer_ != nullptr) {
+    stats.trace = obs::summarize_frame(*tracer_, frame.close());
+  }
   return stats;
 }
 

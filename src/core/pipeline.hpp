@@ -34,6 +34,7 @@
 #include "format/layout.hpp"
 #include "iolib/collective_read.hpp"
 #include "iolib/independent_read.hpp"
+#include "obs/trace.hpp"
 #include "render/decomposition.hpp"
 #include "render/render_model.hpp"
 
@@ -78,6 +79,12 @@ struct FrameStats {
   /// frames. Filled by model_frame_with_faults.
   fault::FaultStats faults;
 
+  /// Trace summary for the frame (span counts, per-stage span seconds,
+  /// coverage of the frame span by its stage children). All-zero with
+  /// enabled == false when no tracer was attached; pointer-free, so stats
+  /// outlive the tracer.
+  obs::FrameTrace trace;
+
   double total_seconds() const {
     return io_seconds + render_seconds + composite_seconds;
   }
@@ -108,6 +115,14 @@ class ParallelVolumeRenderer {
 
   const ExperimentConfig& config() const { return config_; }
   const machine::Partition& partition() const { return *partition_; }
+
+  /// Attaches (or with nullptr detaches) a simulated-clock tracer for all
+  /// subsequent frames. The tracer is forwarded to both runtimes (and
+  /// through them to the torus, tree, storage, and compositors); every
+  /// frame method then emits a "frame" span with stage children and fills
+  /// FrameStats::trace. Borrowed pointer; must outlive traced calls.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
   const render::Decomposition& decomposition() const { return *decomp_; }
   const format::VolumeLayout& layout() const { return *layout_; }
   const render::Camera& camera() const { return camera_; }
@@ -182,6 +197,7 @@ class ParallelVolumeRenderer {
   std::unique_ptr<runtime::Runtime> execute_rt_;
   render::Camera camera_;
   int variable_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pvr::core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pvr::iolib {
@@ -112,8 +113,17 @@ ReadResult CollectiveReader::read_vars(const format::VolumeLayout& layout,
     }
   }
 
+  obs::Tracer* tracer = rt_->tracer();
+  obs::ScopedSpan io_span(tracer, "io.collective_read", obs::Category::kIo);
+
   ReadResult result;
   result.open_seconds = model_open_cost(layout, blocks, *storage_, log);
+  if (tracer != nullptr) {
+    // Per-rank open-time metadata reads (netCDF header, SHDF objects).
+    obs::ScopedSpan open_span(tracer, "io.open", obs::Category::kStorage);
+    open_span.arg("ranks", double(blocks.size()));
+    tracer->advance(result.open_seconds);
+  }
 
   // ---- Phase 1: assemble the global request as sorted slab entries; one
   // entry per (block, variable, z slice). block_index addresses the
@@ -180,8 +190,15 @@ ReadResult CollectiveReader::read_vars(const format::VolumeLayout& layout,
   for (std::int64_t d = 0; d < num_aggs; ++d) {
     std::int64_t r = d * part.num_ranks() / num_aggs;
     if (faulty && plan->rank_failed(r, part)) {
+      const std::int64_t failed = r;
       r = plan->next_live_rank(r, part);
       if (fstats != nullptr) ++fstats->reassigned_aggregators;
+      if (tracer != nullptr) {
+        tracer->instant("fault.aggregator_reassigned", obs::Category::kFault,
+                        {{"domain", double(d)},
+                         {"from_rank", double(failed)},
+                         {"to_rank", double(r)}});
+      }
     }
     domain_agg[std::size_t(d)] = r;
   }
@@ -259,7 +276,23 @@ ReadResult CollectiveReader::read_vars(const format::VolumeLayout& layout,
     accesses.push_back(storage::PhysicalAccess{
         chunk.trim_lo, chunk.trim_hi - chunk.trim_lo, agg_rank(d)});
   }
-  result.storage_cost = storage_->read_cost(accesses, plan, fstats);
+  {
+    obs::ScopedSpan storage_span(tracer, "io.storage",
+                                 obs::Category::kStorage);
+    result.storage_cost = storage_->read_cost(
+        accesses, plan, fstats,
+        tracer != nullptr ? &tracer->metrics() : nullptr);
+    if (tracer != nullptr) {
+      storage_span.arg("accesses", double(result.storage_cost.accesses));
+      storage_span.arg("physical_bytes",
+                       double(result.storage_cost.physical_bytes));
+      storage_span.arg("server_seconds", result.storage_cost.server_seconds);
+      storage_span.arg("ion_seconds", result.storage_cost.ion_seconds);
+      storage_span.arg("cap_seconds", result.storage_cost.cap_seconds);
+      storage_span.arg("client_seconds", result.storage_cost.client_seconds);
+      tracer->advance(result.storage_cost.seconds);
+    }
+  }
   result.accesses = result.storage_cost.accesses;
   result.physical_bytes = result.storage_cost.physical_bytes;
   if (log != nullptr) {
@@ -316,6 +349,14 @@ ReadResult CollectiveReader::read_vars(const format::VolumeLayout& layout,
 
   result.seconds = result.open_seconds + result.storage_cost.seconds +
                    result.shuffle_cost.seconds;
+  if (tracer != nullptr) {
+    io_span.arg("blocks", double(blocks.size()));
+    io_span.arg("variables", double(vars.size()));
+    io_span.arg("aggregators", double(num_aggs));
+    io_span.arg("useful_bytes", double(result.useful_bytes));
+    io_span.arg("physical_bytes", double(result.physical_bytes));
+    io_span.arg("data_density", result.data_density());
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pvr::iolib {
@@ -87,6 +88,9 @@ ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
     }
   }
 
+  obs::Tracer* tracer = rt_->tracer();
+  obs::ScopedSpan io_span(tracer, "io.collective_write", obs::Category::kIo);
+
   ReadResult result;
 
   // ---- Phase 1: slab entries, as in the reader.
@@ -146,8 +150,15 @@ ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
   for (std::int64_t d = 0; d < num_aggs; ++d) {
     std::int64_t r = d * part.num_ranks() / num_aggs;
     if (faulty && plan->rank_failed(r, part)) {
+      const std::int64_t failed = r;
       r = plan->next_live_rank(r, part);
       if (fstats != nullptr) ++fstats->reassigned_aggregators;
+      if (tracer != nullptr) {
+        tracer->instant("fault.aggregator_reassigned", obs::Category::kFault,
+                        {{"domain", double(d)},
+                         {"from_rank", double(failed)},
+                         {"to_rank", double(r)}});
+      }
     }
     domain_agg[std::size_t(d)] = r;
   }
@@ -260,7 +271,21 @@ ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
     accesses.push_back(
         storage::PhysicalAccess{chunk.trim_lo, span_len, agg_rank(d)});
   }
-  result.storage_cost = storage_->read_cost(accesses, plan, fstats);
+  {
+    obs::ScopedSpan storage_span(tracer, "io.storage",
+                                 obs::Category::kStorage);
+    result.storage_cost = storage_->read_cost(
+        accesses, plan, fstats,
+        tracer != nullptr ? &tracer->metrics() : nullptr);
+    if (tracer != nullptr) {
+      storage_span.arg("accesses", double(result.storage_cost.accesses));
+      storage_span.arg("physical_bytes",
+                       double(result.storage_cost.physical_bytes));
+      storage_span.arg("server_seconds", result.storage_cost.server_seconds);
+      storage_span.arg("ion_seconds", result.storage_cost.ion_seconds);
+      tracer->advance(result.storage_cost.seconds);
+    }
+  }
   result.accesses = result.storage_cost.accesses;
   result.physical_bytes = result.storage_cost.physical_bytes;
   if (log != nullptr) {
@@ -292,6 +317,13 @@ ReadResult CollectiveWriter::write_vars(const format::VolumeLayout& layout,
   }
 
   result.seconds = result.storage_cost.seconds + result.shuffle_cost.seconds;
+  if (tracer != nullptr) {
+    io_span.arg("blocks", double(blocks.size()));
+    io_span.arg("variables", double(vars.size()));
+    io_span.arg("aggregators", double(num_aggs));
+    io_span.arg("useful_bytes", double(result.useful_bytes));
+    io_span.arg("physical_bytes", double(result.physical_bytes));
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace pvr::iolib {
@@ -26,8 +27,15 @@ ReadResult IndependentReader::read(const format::VolumeLayout& layout,
                 "execute-mode scatter supports float32 only");
   }
 
+  obs::Tracer* tracer = rt_->tracer();
+  obs::ScopedSpan io_span(tracer, "io.independent_read", obs::Category::kIo);
+
   ReadResult result;
   result.open_seconds = model_open_cost(layout, blocks, *storage_, log);
+  if (tracer != nullptr) {
+    obs::ScopedSpan open_span(tracer, "io.open", obs::Category::kStorage);
+    tracer->advance(result.open_seconds);
+  }
 
   std::vector<storage::PhysicalAccess> accesses;
   std::vector<format::SlabRequest> slabs;
@@ -75,8 +83,19 @@ ReadResult IndependentReader::read(const format::VolumeLayout& layout,
     }
   }
 
-  result.storage_cost =
-      storage_->read_cost(accesses, rt_->fault_plan(), rt_->fault_stats());
+  {
+    obs::ScopedSpan storage_span(tracer, "io.storage",
+                                 obs::Category::kStorage);
+    result.storage_cost = storage_->read_cost(
+        accesses, rt_->fault_plan(), rt_->fault_stats(),
+        tracer != nullptr ? &tracer->metrics() : nullptr);
+    if (tracer != nullptr) {
+      storage_span.arg("accesses", double(result.storage_cost.accesses));
+      storage_span.arg("physical_bytes",
+                       double(result.storage_cost.physical_bytes));
+      tracer->advance(result.storage_cost.seconds);
+    }
+  }
   result.accesses = result.storage_cost.accesses;
   result.physical_bytes = result.storage_cost.physical_bytes;
   if (log != nullptr) {
@@ -84,6 +103,11 @@ ReadResult IndependentReader::read(const format::VolumeLayout& layout,
     log->set_useful_bytes(result.useful_bytes);
   }
   result.seconds = result.open_seconds + result.storage_cost.seconds;
+  if (tracer != nullptr) {
+    io_span.arg("blocks", double(blocks.size()));
+    io_span.arg("useful_bytes", double(result.useful_bytes));
+    io_span.arg("physical_bytes", double(result.physical_bytes));
+  }
   return result;
 }
 

@@ -142,7 +142,8 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
 
 ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
                                   int rounds, const fault::FaultPlan* plan,
-                                  fault::FaultStats* stats) const {
+                                  fault::FaultStats* stats,
+                                  obs::MetricsRegistry* metrics) const {
   const auto& part = *partition_;
   const auto& cfg = part.config();
   const std::int64_t nodes = part.num_nodes();
@@ -210,6 +211,11 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
 
     ++cost.messages;
     cost.total_bytes += t.bytes;
+    if (metrics != nullptr) {
+      metrics->histogram("net.message_bytes").record(t.bytes);
+      metrics->indexed("net.rank_send_bytes").add(t.src_rank, t.bytes);
+      metrics->indexed("net.rank_recv_bytes").add(t.dst_rank, t.bytes);
+    }
     pressure_events += 2.0 * cfg.small_msg_pressure_bytes /
                        (cfg.small_msg_pressure_bytes + double(t.bytes));
     if (src == dst) {
@@ -241,13 +247,27 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
 
   // Worst per-link serialization, derated by small-message efficiency.
   double worst_link = 0.0;
+  double busiest_link_bytes = 0.0;
   for (std::size_t i = 0; i < link_bytes.size(); ++i) {
     if (link_msgs[i] == 0) continue;
     const double avg_msg = link_bytes[i] / double(link_msgs[i]);
     const double bw = cfg.torus_link_bw * message_efficiency(avg_msg);
     worst_link = std::max(worst_link, link_bytes[i] / bw);
+    busiest_link_bytes = std::max(busiest_link_bytes, link_bytes[i]);
+    if (metrics != nullptr) {
+      metrics->indexed("net.link_bytes")
+          .add(std::int64_t(i), std::int64_t(link_bytes[i]));
+    }
   }
   cost.link_seconds = worst_link;
+  if (metrics != nullptr) {
+    metrics->counter("net.messages").add(cost.messages);
+    metrics->counter("net.local_messages").add(cost.local_messages);
+    metrics->counter("net.bytes").add(cost.total_bytes);
+    metrics->counter("net.exchanges").add(1);
+    metrics->gauge("net.busiest_link_bytes").max(busiest_link_bytes);
+    metrics->gauge("net.max_congestion_factor").max(cost.congestion_factor);
+  }
 
   // Worst per-node endpoint time: per-message software overhead (scaled by
   // congestion and, on hot receivers, the hot-spot penalty) plus injection /

@@ -30,6 +30,7 @@
 #include "fault/fault_plan.hpp"
 #include "machine/partition.hpp"
 #include "net/transfer.hpp"
+#include "obs/metrics.hpp"
 
 namespace pvr::net {
 
@@ -87,10 +88,14 @@ class TorusModel {
   /// hops are charged), undeliverable messages cost their sender the
   /// configured retries and are dropped from the round. `plan` may be null
   /// (healthy pricing, identical to the two-argument overload); `stats`, if
-  /// non-null, accumulates undeliverable/retry/reroute counters.
+  /// non-null, accumulates undeliverable/retry/reroute counters. `metrics`,
+  /// if non-null, receives the round's network census: a message-size
+  /// histogram, per-rank send/recv volume, per-link carried bytes, and the
+  /// busiest-link gauge (net.* names; see DESIGN.md §7).
   ExchangeCost exchange(std::span<const Transfer> transfers, int rounds,
                         const fault::FaultPlan* plan,
-                        fault::FaultStats* stats) const;
+                        fault::FaultStats* stats,
+                        obs::MetricsRegistry* metrics = nullptr) const;
 
   /// Theoretical aggregate peak bandwidth (bytes/s) for a round of messages
   /// of the given size: every node injecting at link speed, derated only by

@@ -1,0 +1,50 @@
+#include "obs/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace pvr::obs {
+
+void Histogram::record(std::int64_t v) {
+  PVR_ASSERT(v >= 0);
+  int bucket = 0;
+  for (std::int64_t x = v; x > 1; x >>= 1) ++bucket;
+  if (v > 1 && (std::int64_t(1) << bucket) == v) {
+    // Exact powers of two open the next bucket: [2^(i-1), 2^i).
+    ++bucket;
+  }
+  PVR_ASSERT(bucket < kBuckets);
+  ++counts[bucket];
+  ++count;
+  sum += v;
+  if (v > max_value) max_value = v;
+}
+
+int Histogram::top_bucket() const {
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (counts[i] > 0) return i;
+  }
+  return -1;
+}
+
+std::int64_t IndexedCounter::total() const {
+  std::int64_t t = 0;
+  for (const auto& [index, value] : by_index) t += value;
+  return t;
+}
+
+std::pair<std::int64_t, std::int64_t> IndexedCounter::busiest() const {
+  std::pair<std::int64_t, std::int64_t> best{-1, 0};
+  for (const auto& [index, value] : by_index) {
+    if (best.first < 0 || value > best.second) best = {index, value};
+  }
+  return best;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  indexed_.clear();
+}
+
+}  // namespace pvr::obs

@@ -8,6 +8,7 @@
 //   pvr::data      — synthetic supernova data, writers, upsampling
 //   pvr::storage   — parallel file system model, access logs
 //   pvr::fault     — deterministic fault injection and recovery stats
+//   pvr::obs       — simulated-clock tracing, metrics, trace/metric export
 //   pvr::runtime   — superstep rank runtime (execute & model modes)
 //   pvr::net       — torus and tree network models
 //   pvr::machine   — Blue Gene/P machine description and partitions
@@ -39,6 +40,9 @@
 #include "net/torus.hpp"
 #include "net/transfer.hpp"
 #include "net/tree.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "render/camera.hpp"
 #include "render/decomposition.hpp"
 #include "render/raycaster.hpp"

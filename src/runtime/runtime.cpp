@@ -43,9 +43,37 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
   for (const Message& m : messages) {
     transfers.push_back(net::Transfer{m.src_rank, m.dst_rank, m.bytes});
   }
+  obs::ScopedSpan span(tracer_, "net.exchange", obs::Category::kExchange);
+  const fault::FaultStats fault_before =
+      (tracer_ != nullptr && fault_stats_ != nullptr) ? *fault_stats_
+                                                      : fault::FaultStats{};
   const net::ExchangeCost cost =
-      torus_.exchange(transfers, rounds, fault_plan_, fault_stats_);
+      torus_.exchange(transfers, rounds, fault_plan_, fault_stats_,
+                      tracer_ != nullptr ? &tracer_->metrics() : nullptr);
   ledger_.exchange += cost.seconds;
+  if (tracer_ != nullptr) {
+    span.arg("messages", double(cost.messages));
+    span.arg("local_messages", double(cost.local_messages));
+    span.arg("bytes", double(cost.total_bytes));
+    span.arg("rounds", double(rounds));
+    span.arg("max_hops", double(cost.max_hops));
+    span.arg("congestion_factor", cost.congestion_factor);
+    span.arg("link_seconds", cost.link_seconds);
+    span.arg("endpoint_seconds", cost.endpoint_seconds);
+    span.arg("latency_seconds", cost.latency_seconds);
+    span.arg("skew_seconds", cost.skew_seconds);
+    if (fault_stats_ != nullptr) {
+      // Per-round recovery deltas: what this exchange spent on faults.
+      span.arg("retry_seconds", cost.retry_seconds);
+      span.arg("rerouted_messages",
+               double(fault_stats_->rerouted_messages -
+                      fault_before.rerouted_messages));
+      span.arg("undeliverable_messages",
+               double(fault_stats_->undeliverable_messages -
+                      fault_before.undeliverable_messages));
+    }
+    tracer_->advance(cost.seconds);
+  }
 
   if (consume != nullptr) {
     if (fault_plan_ != nullptr && !fault_plan_->empty()) {
@@ -72,6 +100,7 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
 }
 
 double Runtime::compute(const std::function<double(std::int64_t)>& body) {
+  obs::ScopedSpan span(tracer_, "compute", obs::Category::kCompute);
   double worst = 0.0;
   for (std::int64_t r = 0; r < num_ranks(); ++r) {
     const double t = body(r);
@@ -79,31 +108,44 @@ double Runtime::compute(const std::function<double(std::int64_t)>& body) {
     worst = std::max(worst, t);
   }
   ledger_.compute += worst;
+  if (tracer_ != nullptr) {
+    span.arg("ranks", double(num_ranks()));
+    tracer_->advance(worst);
+  }
   return worst;
 }
 
+/// Spans + ledger bookkeeping shared by the tree collectives: charge the
+/// modeled seconds, trace them, and advance the simulated clock.
+double Runtime::charge_collective(const char* name, std::int64_t bytes,
+                                  double seconds) {
+  ledger_.collective += seconds;
+  if (tracer_ != nullptr) {
+    obs::ScopedSpan span(tracer_, name, obs::Category::kCollective);
+    span.arg("bytes", double(bytes));
+    span.arg("tree_depth", double(tree_.depth()));
+    tracer_->metrics().counter("tree.collectives").add(1);
+    tracer_->metrics().counter("tree.bytes").add(bytes);
+    tracer_->advance(seconds);
+  }
+  return seconds;
+}
+
 double Runtime::barrier() {
-  const double t = tree_.barrier();
-  ledger_.collective += t;
-  return t;
+  return charge_collective("tree.barrier", 0, tree_.barrier());
 }
 
 double Runtime::allreduce(std::int64_t bytes) {
-  const double t = tree_.allreduce(bytes);
-  ledger_.collective += t;
-  return t;
+  return charge_collective("tree.allreduce", bytes, tree_.allreduce(bytes));
 }
 
 double Runtime::broadcast(std::int64_t bytes) {
-  const double t = tree_.broadcast(bytes);
-  ledger_.collective += t;
-  return t;
+  return charge_collective("tree.broadcast", bytes, tree_.broadcast(bytes));
 }
 
 double Runtime::gather(std::int64_t bytes_per_rank) {
-  const double t = tree_.gather(bytes_per_rank);
-  ledger_.collective += t;
-  return t;
+  return charge_collective("tree.gather", bytes_per_rank,
+                           tree_.gather(bytes_per_rank));
 }
 
 }  // namespace pvr::runtime

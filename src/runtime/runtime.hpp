@@ -24,6 +24,7 @@
 #include "net/torus.hpp"
 #include "net/transfer.hpp"
 #include "net/tree.hpp"
+#include "obs/trace.hpp"
 #include "runtime/message.hpp"
 #include "util/error.hpp"
 
@@ -87,6 +88,15 @@ class Runtime {
   }
   const fault::FaultPlan* fault_plan() const { return fault_plan_; }
   fault::FaultStats* fault_stats() const { return fault_stats_; }
+
+  /// Attaches (or with nullptr detaches) a simulated-clock tracer. While
+  /// attached, every priced phase — exchange rounds, compute phases, tree
+  /// collectives — emits a span with its full cost breakdown and advances
+  /// the tracer's clock by the phase's modeled seconds; the torus feeds the
+  /// tracer's metrics registry. Borrowed pointer; a null tracer (the
+  /// default) makes all instrumentation free.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
   /// True when an active fault plan marks the rank's node as failed.
   bool rank_failed(std::int64_t rank) const {
     return fault_plan_ != nullptr &&
@@ -127,6 +137,9 @@ class Runtime {
   void reset_ledger() { ledger_ = {}; }
 
  private:
+  double charge_collective(const char* name, std::int64_t bytes,
+                           double seconds);
+
   const machine::Partition* partition_;
   Mode mode_;
   net::TorusModel torus_;
@@ -134,6 +147,7 @@ class Runtime {
   TimeLedger ledger_;
   const fault::FaultPlan* fault_plan_ = nullptr;
   fault::FaultStats* fault_stats_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pvr::runtime

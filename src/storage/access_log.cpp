@@ -55,7 +55,11 @@ void AccessLog::write_coverage_pgm(std::int64_t file_bytes, int width,
     // Dark = touched, matching the paper's rendering.
     gray[i] = static_cast<std::uint8_t>(255.0 * (1.0 - cov[i]));
   }
-  write_pgm(gray, width, height, path);
+  try {
+    write_pgm(gray, width, height, path);
+  } catch (const Error& e) {
+    throw Error("cannot write coverage map to " + path + ": " + e.what());
+  }
 }
 
 }  // namespace pvr::storage

@@ -48,7 +48,8 @@ class AccessLog {
 
   /// Writes the coverage map as a PGM image (`width` x `height` cells, file
   /// offset raster-ordered left-right top-bottom; dark = touched), the same
-  /// rendering the paper shows in Fig 9.
+  /// rendering the paper shows in Fig 9. Throws pvr::Error naming `path`
+  /// when the file cannot be opened or written.
   void write_coverage_pgm(std::int64_t file_bytes, int width, int height,
                           const std::string& path) const;
 

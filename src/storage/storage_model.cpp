@@ -25,7 +25,8 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses) const {
 
 IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses,
                                const fault::FaultPlan* plan,
-                               fault::FaultStats* stats) const {
+                               fault::FaultStats* stats,
+                               obs::MetricsRegistry* metrics) const {
   IoCost cost;
   if (accesses.empty()) return cost;
   const bool faulty = plan != nullptr && !plan->empty();
@@ -45,6 +46,9 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses,
     if (a.bytes == 0) continue;
     ++cost.accesses;
     cost.physical_bytes += a.bytes;
+    if (metrics != nullptr) {
+      metrics->histogram("storage.access_bytes").record(a.bytes);
+    }
 
     // Split the access into per-server stripe extents; each extent costs the
     // owning server one request latency plus streaming time.
@@ -82,6 +86,9 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses,
       }
       server_busy[static_cast<std::size_t>(server)] +=
           latency + double(take) / bw;
+      if (metrics != nullptr) {
+        metrics->indexed("storage.server_bytes").add(server, take);
+      }
       pos += take;
     }
 
@@ -96,6 +103,9 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses,
     }
     ion_bytes[static_cast<std::size_t>(ion)] += double(a.bytes);
     ++client_requests[static_cast<std::size_t>(a.client_rank)];
+    if (metrics != nullptr) {
+      metrics->indexed("storage.ion_bytes").add(ion, a.bytes);
+    }
   }
 
   cost.startup_seconds = cfg_.client_startup;
@@ -113,6 +123,13 @@ IoCost StorageModel::read_cost(std::span<const PhysicalAccess> accesses,
                  std::max({cost.server_seconds, cost.ion_seconds,
                            cost.cap_seconds}) +
                  cost.client_seconds;
+  if (metrics != nullptr) {
+    metrics->counter("storage.batches").add(1);
+    metrics->counter("storage.accesses").add(cost.accesses);
+    metrics->counter("storage.physical_bytes").add(cost.physical_bytes);
+    metrics->gauge("storage.worst_server_seconds").max(cost.server_seconds);
+    metrics->gauge("storage.worst_ion_seconds").max(cost.ion_seconds);
+  }
   return cost;
 }
 

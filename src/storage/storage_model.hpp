@@ -24,6 +24,7 @@
 #include "fault/fault_plan.hpp"
 #include "machine/config.hpp"
 #include "machine/partition.hpp"
+#include "obs/metrics.hpp"
 #include "storage/access_log.hpp"
 
 namespace pvr::storage {
@@ -62,10 +63,14 @@ class StorageModel {
   /// Fault-aware batch cost: failed servers fail over, degraded servers
   /// retry with backoff, clients behind failed IONs reroute to a sibling.
   /// `plan` may be null (identical to the healthy overload); `stats`, if
-  /// non-null, accumulates retry/failover/reroute counters.
+  /// non-null, accumulates retry/failover/reroute counters. `metrics`, if
+  /// non-null, receives the batch's storage census: an access-size
+  /// histogram, per-server busy bytes, per-ION bridged bytes, and batch
+  /// counters (storage.* names; see DESIGN.md §7).
   IoCost read_cost(std::span<const PhysicalAccess> accesses,
                    const fault::FaultPlan* plan,
-                   fault::FaultStats* stats) const;
+                   fault::FaultStats* stats,
+                   obs::MetricsRegistry* metrics = nullptr) const;
 
   /// The partition's aggregate fabric-share ceiling (bytes/s).
   double aggregate_cap() const;

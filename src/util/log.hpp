@@ -1,5 +1,11 @@
 // Minimal leveled logging to stderr. The library is quiet by default;
 // benches and examples raise the level for progress reporting.
+//
+// Prefer the PVR_LOG_* macros over calling log_info/log_debug directly:
+// the functions take a std::string, so a call site that formats a message
+// pays for the construction even when the level is suppressed. The macros
+// check the level first and skip evaluating the message expression
+// entirely when the line would be dropped.
 #pragma once
 
 #include <string>
@@ -15,3 +21,19 @@ void log_info(const std::string& msg);
 void log_debug(const std::string& msg);
 
 }  // namespace pvr
+
+/// Level-checked logging: `msg` is any expression convertible to
+/// std::string; it is not evaluated when the level is below the line's.
+#define PVR_LOG_INFO(msg)                                  \
+  do {                                                     \
+    if (::pvr::log_level() >= ::pvr::LogLevel::kInfo) {    \
+      ::pvr::log_info(msg);                                \
+    }                                                      \
+  } while (0)
+
+#define PVR_LOG_DEBUG(msg)                                 \
+  do {                                                     \
+    if (::pvr::log_level() >= ::pvr::LogLevel::kDebug) {   \
+      ::pvr::log_debug(msg);                               \
+    }                                                      \
+  } while (0)

@@ -1,5 +1,6 @@
 // Tests for the two-phase collective writer: byte-exact files for every
 // format, read-modify-write hole preservation, and model-mode costs.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -16,7 +17,9 @@ namespace fs = std::filesystem;
 
 class TempDir {
  public:
-  TempDir() : path_(fs::temp_directory_path() / "pvr_cwrite_test") {
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_cwrite_test_" + std::to_string(::getpid()))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

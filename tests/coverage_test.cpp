@@ -132,11 +132,28 @@ TEST(LogTest, LevelsControlOutput) {
   // No crash at any level; default is quiet.
   EXPECT_EQ(log_level(), LogLevel::kQuiet);
   set_log_level(LogLevel::kDebug);
-  log_info("info message");
-  log_debug("debug message");
+  PVR_LOG_INFO("info message");
+  PVR_LOG_DEBUG("debug message");
   set_log_level(LogLevel::kQuiet);
-  log_info("suppressed");
+  PVR_LOG_INFO("suppressed");
   EXPECT_EQ(log_level(), LogLevel::kQuiet);
+}
+
+TEST(LogTest, MacrosSkipMessageConstructionWhenSuppressed) {
+  set_log_level(LogLevel::kQuiet);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("built");
+  };
+  PVR_LOG_INFO(expensive());
+  PVR_LOG_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kInfo);
+  PVR_LOG_INFO(expensive());
+  PVR_LOG_DEBUG(expensive());  // still below kDebug: not evaluated
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(LogLevel::kQuiet);
 }
 
 TEST(DirectSendInternalsTest, DepthTiesBreakBySourceRank) {

@@ -1,4 +1,5 @@
 // Tests for synthetic data generation, dataset writers, and upsampling.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -14,7 +15,9 @@ namespace fs = std::filesystem;
 
 class TempDir {
  public:
-  TempDir() : path_(fs::temp_directory_path() / "pvr_data_test") {
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_data_test_" + std::to_string(::getpid()))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

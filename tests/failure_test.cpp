@@ -1,6 +1,7 @@
 // Failure injection: corrupt files, truncated data, degenerate
 // configurations. The library must fail loudly (pvr::Error) rather than
 // produce silently wrong results.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -17,7 +18,9 @@ namespace fs = std::filesystem;
 
 class TempDir {
  public:
-  TempDir() : path_(fs::temp_directory_path() / "pvr_failure_test") {
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_failure_test_" + std::to_string(::getpid()))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

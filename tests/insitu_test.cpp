@@ -1,4 +1,5 @@
 // Tests for the in-situ pipeline variant and blocks-per-rank decomposition.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -24,7 +25,9 @@ ExperimentConfig small_config(std::int64_t ranks, int blocks_per_rank = 1) {
 }
 
 TEST(InsituTest, ExecuteInsituMatchesPosthocImage) {
-  const fs::path dir = fs::temp_directory_path() / "pvr_insitu_test";
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pvr_insitu_test_" + std::to_string(::getpid()));
   fs::create_directories(dir);
   const std::string path = (dir / "vol.raw").string();
 
@@ -65,7 +68,9 @@ class BlocksPerRank : public ::testing::TestWithParam<int> {};
 
 TEST_P(BlocksPerRank, ExecuteFrameStillMatchesSerialReference) {
   const int bpr = GetParam();
-  const fs::path dir = fs::temp_directory_path() / "pvr_bpr_test";
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pvr_bpr_test_" + std::to_string(::getpid()));
   fs::create_directories(dir);
   const std::string path = (dir / "vol.raw").string();
 

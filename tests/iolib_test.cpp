@@ -1,6 +1,7 @@
 // Tests for the two-phase collective I/O engine: execute-mode correctness
 // against ground truth for every format, hint effects on the physical
 // access pattern, model/execute consistency, and the independent baseline.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -31,7 +32,9 @@ struct Env {
 
 class TempDir {
  public:
-  TempDir() : path_(fs::temp_directory_path() / "pvr_iolib_test") {
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_iolib_test_" + std::to_string(::getpid()))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

@@ -1,4 +1,5 @@
 // Tests for multivariate reads and bivariate rendering.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -15,7 +16,9 @@ namespace fs = std::filesystem;
 
 class TempDir {
  public:
-  TempDir() : path_(fs::temp_directory_path() / "pvr_multivar_test") {
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_multivar_test_" + std::to_string(::getpid()))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

@@ -1,6 +1,7 @@
 // End-to-end pipeline tests: execute-mode frames against serial references
 // for every storage format, model-mode frame statistics, and configuration
 // validation.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -15,7 +16,9 @@ namespace fs = std::filesystem;
 
 class TempDir {
  public:
-  TempDir() : path_(fs::temp_directory_path() / "pvr_pipeline_test") {
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_pipeline_test_" + std::to_string(::getpid()))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

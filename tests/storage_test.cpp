@@ -1,4 +1,5 @@
 // Tests for the parallel file system model and access logs.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -6,6 +7,7 @@
 #include "machine/partition.hpp"
 #include "storage/access_log.hpp"
 #include "storage/storage_model.hpp"
+#include "util/error.hpp"
 
 namespace pvr::storage {
 namespace {
@@ -150,13 +152,28 @@ TEST(AccessLogTest, WritesCoveragePgm) {
   namespace fs = std::filesystem;
   AccessLog log;
   log.record({0, 5000, 0});
-  const fs::path dir = fs::temp_directory_path() / "pvr_storage_test";
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pvr_storage_test_" + std::to_string(::getpid()));
   fs::create_directories(dir);
   const std::string path = (dir / "cov.pgm").string();
   log.write_coverage_pgm(10000, 8, 8, path);
   EXPECT_TRUE(fs::exists(path));
   EXPECT_GT(fs::file_size(path), 64u);
   fs::remove_all(dir);
+}
+
+TEST(AccessLogTest, CoveragePgmThrowsNamingAnUnwritablePath) {
+  AccessLog log;
+  log.record({0, 5000, 0});
+  const std::string path = "/nonexistent-dir/cov.pgm";
+  try {
+    log.write_coverage_pgm(10000, 8, 8, path);
+    FAIL() << "expected pvr::Error for unwritable path";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error message must name the path: " << e.what();
+  }
 }
 
 }  // namespace

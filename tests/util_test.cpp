@@ -1,4 +1,5 @@
 // Unit tests for pvr::util — math, color algebra, images, RNG, tables.
+#include <unistd.h>
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -219,7 +220,9 @@ TEST(ImageTest, OutOfBoundsThrows) {
 
 TEST(ImageIoTest, WritesPpmAndPgm) {
   namespace fs = std::filesystem;
-  const fs::path dir = fs::temp_directory_path() / "pvr_util_test";
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pvr_util_test_" + std::to_string(::getpid()));
   fs::create_directories(dir);
   Image img(16, 8);
   img.fill(Rgba{1, 0, 0, 1});
