@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -20,6 +21,10 @@
 #include <vector>
 
 #include "pvr.hpp"
+
+#ifndef PVR_GIT_DESCRIBE
+#define PVR_GIT_DESCRIBE "unknown"
+#endif
 
 namespace pvrbench {
 
@@ -60,6 +65,27 @@ inline std::vector<SimRow>& sim_rows() {
   return rows;
 }
 
+/// Host wall-clock ms attributed to each row: measured as the time between
+/// successive register_sim calls, which brackets exactly the row's model
+/// computation in the standard compute-then-register loop. Kept out of
+/// "rows" in the JSON, so the modeled numbers stay byte-identical across
+/// host thread counts while the wall clock (which is allowed to vary) lands
+/// in the separate "host" section.
+struct HostRow {
+  std::string name;
+  double wall_ms = 0.0;
+};
+
+inline std::vector<HostRow>& host_rows() {
+  static std::vector<HostRow> rows;
+  return rows;
+}
+
+inline std::chrono::steady_clock::time_point& host_clock_mark() {
+  static auto mark = std::chrono::steady_clock::now();
+  return mark;
+}
+
 /// Key/value configuration entries echoed into the JSON output (grid size,
 /// policies, seeds — whatever identifies the sweep).
 inline std::vector<std::pair<std::string, std::string>>& bench_config() {
@@ -77,6 +103,11 @@ inline void bench_config_set(const std::string& key,
 inline void register_sim(
     const std::string& name, double seconds,
     std::vector<std::pair<std::string, double>> counters = {}) {
+  const auto now = std::chrono::steady_clock::now();
+  host_rows().push_back(HostRow{
+      name, std::chrono::duration<double, std::milli>(now - host_clock_mark())
+                .count()});
+  host_clock_mark() = now;
   sim_rows().push_back(SimRow{name, seconds, counters});
   benchmark::RegisterBenchmark(
       name.c_str(),
@@ -138,7 +169,25 @@ inline std::string bench_json(const std::string& name) {
     out += "}";
     first = false;
   }
-  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  out += first ? "]," : "\n  ],";
+  // Host-side provenance and timings live OUTSIDE "rows": the modeled
+  // numbers above must be byte-identical across host thread counts, while
+  // wall clock may (and should) vary with PVR_THREADS.
+  double total_ms = 0.0;
+  for (const HostRow& row : host_rows()) total_ms += row.wall_ms;
+  out += "\n  \"host\": {\n    \"threads\": " +
+         std::to_string(pvr::par::resolve_threads(0)) +
+         ",\n    \"git\": \"" + detail::json_escape(PVR_GIT_DESCRIBE) +
+         "\",\n    \"total_wall_ms\": " + detail::json_number(total_ms) +
+         ",\n    \"wall_ms\": [";
+  first = true;
+  for (const HostRow& row : host_rows()) {
+    out += first ? "\n" : ",\n";
+    out += "      {\"name\": \"" + detail::json_escape(row.name) +
+           "\", \"ms\": " + detail::json_number(row.wall_ms) + "}";
+    first = false;
+  }
+  out += first ? "]\n  }\n}\n" : "\n    ]\n  }\n}\n";
   return out;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <map>
 
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -155,7 +154,11 @@ CompositeStats DirectSendCompositor::run(
   for (const auto& msg : messages) stats.bytes += msg.bytes;
 
   runtime::Runtime::ConsumeFn consume = nullptr;
-  std::map<std::int64_t, std::vector<Rgba>> tiles;  // compositor -> pixels
+  // Compositor rank -> blended tile pixels, pre-sized so each consume call
+  // touches only its own slot (rank-private: safe under kParallelRanks).
+  // Execute mode is never faulty, so dst ranks are exactly tile indices.
+  std::vector<std::vector<Rgba>> tiles(
+      execute ? std::size_t(partition.num_tiles()) : 0);
   if (execute) {
     consume = [&](std::int64_t rank, std::span<const runtime::Message> inbox) {
       const Rect tile = partition.tile(rank);
@@ -176,7 +179,7 @@ CompositeStats DirectSendCompositor::run(
                   if (a.depth != b.depth) return a.depth < b.depth;
                   return a.src < b.src;
                 });
-      std::vector<Rgba>& acc = tiles[rank];
+      std::vector<Rgba>& acc = tiles[std::size_t(rank)];
       acc.assign(std::size_t(tile.pixel_count()), kTransparent);
       for (const Fragment& f : fragments) {
         const Rect r = f.rect.intersect(tile);
@@ -196,7 +199,9 @@ CompositeStats DirectSendCompositor::run(
     };
   }
 
-  stats.exchange = rt_->exchange_messages(std::move(messages), consume);
+  stats.exchange = rt_->exchange_messages(
+      std::move(messages), consume, /*rounds=*/1,
+      runtime::Runtime::ConsumePolicy::kParallelRanks);
 
   const std::int64_t worst_blend =
       blend_pixels.empty()
@@ -221,9 +226,9 @@ CompositeStats DirectSendCompositor::run(
     *out = Image(width, height);
     for (std::int64_t t = 0; t < partition.num_tiles(); ++t) {
       const Rect r = partition.tile(t);
-      const auto it = tiles.find(t);
-      if (it == tiles.end()) continue;  // tile received no fragments
-      out->insert(r, it->second);
+      const std::vector<Rgba>& acc = tiles[std::size_t(t)];
+      if (acc.empty()) continue;  // tile received no fragments
+      out->insert(r, acc);
     }
   }
   return stats;

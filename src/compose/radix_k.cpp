@@ -208,8 +208,12 @@ CompositeStats RadixKCompositor::run(
     obs::ScopedSpan round_span(tracer, "composite.round",
                                obs::Category::kComposite);
     if (tracer != nullptr) round_span.arg("radix", double(k));
+    // consume writes only buffers[rank] (kept/pos/order are read-only
+    // here), so rank inboxes may drain in parallel.
     stats.exchange.seconds +=
-        rt_->exchange_messages(std::move(messages), consume).seconds;
+        rt_->exchange_messages(std::move(messages), consume, /*rounds=*/1,
+                               runtime::Runtime::ConsumePolicy::kParallelRanks)
+            .seconds;
     const double round_blend = double(worst_blend) / mcfg.blends_per_second;
     if (tracer != nullptr) {
       obs::ScopedSpan blend_span(tracer, "composite.blend",

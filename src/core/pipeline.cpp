@@ -35,6 +35,12 @@ void validate(const ExperimentConfig& config) {
          "ghost layer count cannot be negative; use 0 to disable ghost "
          "loading");
   }
+  if (config.host_threads < 0 || config.host_threads > par::kMaxThreads) {
+    fail("host_threads", config.host_threads,
+         "host thread count must be in [0, " +
+             std::to_string(par::kMaxThreads) +
+             "]; 0 defers to PVR_THREADS");
+  }
   const auto& dims = config.dataset.dims;
   if (dims.x <= 0 || dims.y <= 0 || dims.z <= 0) {
     throw Error("invalid ExperimentConfig: dataset.dims = (" +
@@ -60,6 +66,10 @@ ParallelVolumeRenderer::ParallelVolumeRenderer(const ExperimentConfig& config)
                   camera_.height() == config.image_height,
               "camera image size must match the experiment image size");
   variable_ = config.dataset.variable_index(config.variable);
+  // A resolved value of 1 allocates no pool: the serial pipeline is
+  // byte-for-byte the pre-parallelism code path.
+  const int threads = par::resolve_threads(config.host_threads);
+  if (threads > 1) pool_ = std::make_unique<par::ThreadPool>(threads);
 }
 
 runtime::Runtime& ParallelVolumeRenderer::model_rt() {
@@ -67,6 +77,7 @@ runtime::Runtime& ParallelVolumeRenderer::model_rt() {
     model_rt_ = std::make_unique<runtime::Runtime>(*partition_,
                                                    runtime::Mode::kModel);
     model_rt_->set_tracer(tracer_);
+    model_rt_->set_pool(pool_.get());
   }
   return *model_rt_;
 }
@@ -76,6 +87,7 @@ runtime::Runtime& ParallelVolumeRenderer::execute_rt() {
     execute_rt_ = std::make_unique<runtime::Runtime>(*partition_,
                                                      runtime::Mode::kExecute);
     execute_rt_->set_tracer(tracer_);
+    execute_rt_->set_pool(pool_.get());
   }
   return *execute_rt_;
 }
@@ -312,8 +324,9 @@ void ParallelVolumeRenderer::execute_render_and_composite(
     subimages.reserve(infos.size());
     std::vector<std::int64_t> rank_samples(std::size_t(config_.num_ranks), 0);
     for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
-      render::SubImage sub = caster.render_block(
-          bricks[std::size_t(b)], decomp_->block_box(b), camera_, tf);
+      render::SubImage sub =
+          caster.render_block(bricks[std::size_t(b)], decomp_->block_box(b),
+                              camera_, tf, pool_.get());
       rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
       subimages.push_back(std::move(sub));
     }
@@ -434,7 +447,7 @@ FrameStats ParallelVolumeRenderer::execute_frame_bivariate(
     for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
       render::SubImage sub = caster.render_block_bivariate(
           bricks[std::size_t(b) * 2], bricks[std::size_t(b) * 2 + 1],
-          decomp_->block_box(b), camera_, tf);
+          decomp_->block_box(b), camera_, tf, pool_.get());
       rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
       subimages.push_back(std::move(sub));
     }

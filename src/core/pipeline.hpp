@@ -35,6 +35,7 @@
 #include "iolib/collective_read.hpp"
 #include "iolib/independent_read.hpp"
 #include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
 #include "render/decomposition.hpp"
 #include "render/render_model.hpp"
 
@@ -57,6 +58,11 @@ struct ExperimentConfig {
   /// Paper §III-B: "statically allocates a small number of blocks to each
   /// process". Blocks are interleaved round-robin over ranks.
   int blocks_per_rank = 1;
+  /// Host threads for torus routing, ray casting, and compositing. 0 (the
+  /// default) defers to the PVR_THREADS environment variable, else runs
+  /// serially. Results are bit-identical for every value (DESIGN.md §8); a
+  /// resolved value of 1 allocates no pool at all.
+  int host_threads = 0;
 };
 
 /// Fail-loud validation of an experiment configuration: throws pvr::Error
@@ -123,6 +129,9 @@ class ParallelVolumeRenderer {
   /// FrameStats::trace. Borrowed pointer; must outlive traced calls.
   void set_tracer(obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
+  /// The host thread pool (null when the pipeline runs serially — i.e.
+  /// host_threads/PVR_THREADS resolved to 1).
+  par::ThreadPool* pool() const { return pool_.get(); }
   const render::Decomposition& decomposition() const { return *decomp_; }
   const format::VolumeLayout& layout() const { return *layout_; }
   const render::Camera& camera() const { return camera_; }
@@ -193,6 +202,7 @@ class ParallelVolumeRenderer {
   std::unique_ptr<render::Decomposition> decomp_;
   std::unique_ptr<format::VolumeLayout> layout_;
   std::unique_ptr<storage::StorageModel> storage_;
+  std::unique_ptr<par::ThreadPool> pool_;  ///< null when serial
   std::unique_ptr<runtime::Runtime> model_rt_;
   std::unique_ptr<runtime::Runtime> execute_rt_;
   render::Camera camera_;

@@ -10,29 +10,6 @@ namespace pvr::net {
 TorusModel::TorusModel(const machine::Partition& partition)
     : partition_(&partition) {}
 
-std::int64_t TorusModel::route(
-    std::int64_t node_a, std::int64_t node_b,
-    const std::function<void(const LinkId&)>& visit) const {
-  const auto& part = *partition_;
-  Vec3i cur = part.coords_of_node(node_a);
-  const Vec3i dst = part.coords_of_node(node_b);
-  const Vec3i dims = part.torus_dims();
-  std::int64_t hops = 0;
-  for (int d = 0; d < 3; ++d) {
-    const std::int64_t dim = dims[d];
-    std::int64_t fwd = (dst[d] - cur[d] + dim) % dim;
-    const bool go_plus = fwd <= dim - fwd;  // prefer + on ties (deterministic)
-    std::int64_t steps = go_plus ? fwd : dim - fwd;
-    while (steps-- > 0) {
-      visit(LinkId{part.node_of_coords(cur), d, go_plus ? 0 : 1});
-      cur[d] = (cur[d] + (go_plus ? 1 : dim - 1)) % dim;
-      ++hops;
-    }
-  }
-  PVR_ASSERT(cur == dst);
-  return hops;
-}
-
 std::int64_t TorusModel::neighbor(std::int64_t node, int dim, int dir) const {
   const auto& part = *partition_;
   Vec3i c = part.coords_of_node(node);
@@ -48,38 +25,9 @@ bool TorusModel::link_usable(const LinkId& link,
   return !plan.node_failed(neighbor(link.node, link.dim, link.dir));
 }
 
-FaultRoute TorusModel::route_with_faults(
-    std::int64_t node_a, std::int64_t node_b, const fault::FaultPlan& plan,
-    const std::function<void(const LinkId&)>& visit) const {
-  FaultRoute result;
-  if (plan.empty()) {
-    result.hops = route(node_a, node_b, visit);
-    return result;
-  }
-  if (plan.node_failed(node_a) || plan.node_failed(node_b)) {
-    result.reachable = false;
-    return result;
-  }
-  if (node_a == node_b) return result;
-
-  // Fast path: the dimension-ordered route, when every link on it is alive.
-  std::vector<LinkId> path;
-  route(node_a, node_b, [&](const LinkId& l) { path.push_back(l); });
-  bool clean = true;
-  for (const LinkId& l : path) {
-    if (!link_usable(l, plan)) {
-      clean = false;
-      break;
-    }
-  }
-  if (clean) {
-    for (const LinkId& l : path) visit(l);
-    result.hops = std::int64_t(path.size());
-    return result;
-  }
-
-  // Detour: BFS over live links, fixed neighbor order (x+, x-, y+, y-,
-  // z+, z-) so the chosen shortest path is deterministic.
+bool TorusModel::detour(std::int64_t node_a, std::int64_t node_b,
+                        const fault::FaultPlan& plan,
+                        std::vector<LinkId>* path) const {
   const std::int64_t n = partition_->num_nodes();
   std::vector<std::int64_t> parent(std::size_t(n), -1);
   std::vector<std::int8_t> parent_link(std::size_t(n), -1);
@@ -106,26 +54,22 @@ FaultRoute TorusModel::route_with_faults(
       }
     }
   }
-  if (!found) {
-    result.reachable = false;
-    return result;
-  }
-  path.clear();
+  if (!found) return false;
+  path->clear();
   for (std::int64_t cur = node_b; cur != node_a;
        cur = parent[std::size_t(cur)]) {
     const int key = parent_link[std::size_t(cur)];
-    path.push_back(LinkId{parent[std::size_t(cur)], key / 2, key % 2});
+    path->push_back(LinkId{parent[std::size_t(cur)], key / 2, key % 2});
   }
-  std::reverse(path.begin(), path.end());
-  for (const LinkId& l : path) visit(l);
-  result.hops = std::int64_t(path.size());
-  result.detoured = true;
-  return result;
+  std::reverse(path->begin(), path->end());
+  return true;
 }
 
 double TorusModel::message_efficiency(double message_bytes) const {
   const double s_half = partition_->config().half_bw_msg_bytes;
-  if (message_bytes <= 0.0) return 1.0;
+  // Guard the degenerate calibration s_half == 0 combined with a 0-byte
+  // average message, which would otherwise produce 0/0 = NaN link seconds.
+  if (message_bytes <= 0.0 || s_half <= 0.0) return 1.0;
   return message_bytes / (message_bytes + s_half);
 }
 
@@ -143,7 +87,8 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
 ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
                                   int rounds, const fault::FaultPlan* plan,
                                   fault::FaultStats* stats,
-                                  obs::MetricsRegistry* metrics) const {
+                                  obs::MetricsRegistry* metrics,
+                                  par::ThreadPool* pool) const {
   const auto& part = *partition_;
   const auto& cfg = part.config();
   const std::int64_t nodes = part.num_nodes();
@@ -152,111 +97,203 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
 
   ExchangeCost cost;
   if (transfers.empty()) return cost;
+  const std::int64_t n = std::int64_t(transfers.size());
 
-  std::vector<double> link_bytes(static_cast<std::size_t>(num_links()), 0.0);
-  std::vector<std::int64_t> link_msgs(static_cast<std::size_t>(num_links()),
-                                      0);
+  // Retry pricing is invariant per exchange: read the plan's spec once, not
+  // per undeliverable message.
+  std::int64_t max_retries = 0;
+  double retry_penalty = 0.0;
+  if (faulty) {
+    const auto& spec = plan->spec();
+    max_retries = spec.max_retries;
+    retry_penalty = double(spec.max_retries) * spec.retry_timeout;
+  }
+
+  // Every tally is an integer, so per-chunk partials merge exactly: the
+  // priced cost is bit-identical for any host thread count, including the
+  // single-accumulator serial path below. The only floating-point sums of
+  // the exchange (congestion pressure; the link/endpoint folds) run on the
+  // calling thread in a fixed order either way.
   struct NodeLoad {
     std::int64_t send_msgs = 0, recv_msgs = 0;
-    double send_bytes = 0.0, recv_bytes = 0.0;
-    double local_bytes = 0.0;
-    double retry_seconds = 0.0;
+    std::int64_t send_bytes = 0, recv_bytes = 0;
+    std::int64_t local_bytes = 0;
+    std::int64_t failed_sends = 0;  ///< undeliverable messages, live sender
   };
-  std::vector<NodeLoad> node_load(static_cast<std::size_t>(nodes));
-
-  const auto visit_link = [&](const LinkId& link, std::int64_t bytes) {
-    const auto li = static_cast<std::size_t>(link_index(link));
-    link_bytes[li] += double(bytes);
-    ++link_msgs[li];
+  struct Tally {
+    std::vector<std::int64_t> link_bytes, link_msgs;
+    std::vector<NodeLoad> node;
+    std::int64_t messages = 0, local_messages = 0, total_bytes = 0;
+    std::int64_t max_hops = 0;
+    std::int64_t undeliverable = 0, retries = 0;
+    std::int64_t rerouted_messages = 0, rerouted_hops = 0;
+  };
+  const auto make_tally = [&] {
+    Tally t;
+    t.link_bytes.assign(static_cast<std::size_t>(num_links()), 0);
+    t.link_msgs.assign(static_cast<std::size_t>(num_links()), 0);
+    t.node.assign(static_cast<std::size_t>(nodes), NodeLoad{});
+    return t;
   };
 
-  double pressure_events = 0.0;  // smallness-weighted message events
-  for (const Transfer& t : transfers) {
+  // delivered[i]: transfer i entered the round. Only faulty exchanges can
+  // drop messages; the flag replays the pressure and metrics passes in
+  // transfer order on the calling thread.
+  std::vector<std::uint8_t> delivered;
+  if (faulty) delivered.assign(static_cast<std::size_t>(n), 1);
+
+  // Routes one transfer into `tally`; returns false when undeliverable.
+  const auto process = [&](const Transfer& t, Tally& tally) -> bool {
     PVR_ASSERT(t.bytes >= 0);
     const std::int64_t src = part.node_of_rank(t.src_rank);
     const std::int64_t dst = part.node_of_rank(t.dst_rank);
-
+    const auto visit = [&tally, &t, this](const LinkId& link) {
+      const auto li = static_cast<std::size_t>(link_index(link));
+      tally.link_bytes[li] += t.bytes;
+      ++tally.link_msgs[li];
+    };
     std::int64_t hops = 0;
     if (faulty) {
       // A message to (or from) a dead rank, or one cut off from its
       // destination by link faults, never enters the round: a live sender
       // burns its retry attempts discovering this, then gives up.
-      bool undeliverable =
-          plan->node_failed(src) || plan->node_failed(dst);
+      bool undeliverable = plan->node_failed(src) || plan->node_failed(dst);
       FaultRoute fr;
       if (!undeliverable && src != dst) {
-        fr = route_with_faults(
-            src, dst, *plan,
-            [&](const LinkId& link) { visit_link(link, t.bytes); });
+        fr = route_with_faults(src, dst, *plan, visit);
         undeliverable = !fr.reachable;
       }
       if (undeliverable) {
-        const auto& spec = plan->spec();
         if (!plan->node_failed(src)) {
-          node_load[static_cast<std::size_t>(src)].retry_seconds +=
-              double(spec.max_retries) * spec.retry_timeout;
+          ++tally.node[static_cast<std::size_t>(src)].failed_sends;
         }
-        if (stats != nullptr) {
-          ++stats->undeliverable_messages;
-          stats->retries += spec.max_retries;
-        }
-        continue;
+        ++tally.undeliverable;
+        tally.retries += max_retries;
+        return false;
       }
       hops = fr.hops;
-      if (fr.detoured && stats != nullptr) {
-        ++stats->rerouted_messages;
-        stats->rerouted_hops += fr.hops;
+      if (fr.detoured) {
+        ++tally.rerouted_messages;
+        tally.rerouted_hops += fr.hops;
       }
     }
-
-    ++cost.messages;
-    cost.total_bytes += t.bytes;
-    if (metrics != nullptr) {
-      metrics->histogram("net.message_bytes").record(t.bytes);
-      metrics->indexed("net.rank_send_bytes").add(t.src_rank, t.bytes);
-      metrics->indexed("net.rank_recv_bytes").add(t.dst_rank, t.bytes);
-    }
-    pressure_events += 2.0 * cfg.small_msg_pressure_bytes /
-                       (cfg.small_msg_pressure_bytes + double(t.bytes));
+    ++tally.messages;
+    tally.total_bytes += t.bytes;
     if (src == dst) {
-      ++cost.local_messages;
-      node_load[static_cast<std::size_t>(src)].local_bytes += double(t.bytes);
-      continue;
+      ++tally.local_messages;
+      tally.node[static_cast<std::size_t>(src)].local_bytes += t.bytes;
+      return true;
     }
-    auto& sl = node_load[static_cast<std::size_t>(src)];
-    auto& dl = node_load[static_cast<std::size_t>(dst)];
+    auto& sl = tally.node[static_cast<std::size_t>(src)];
+    auto& dl = tally.node[static_cast<std::size_t>(dst)];
     ++sl.send_msgs;
-    sl.send_bytes += double(t.bytes);
+    sl.send_bytes += t.bytes;
     ++dl.recv_msgs;
-    dl.recv_bytes += double(t.bytes);
+    dl.recv_bytes += t.bytes;
     if (!faulty) {
-      hops = route(src, dst,
-                   [&](const LinkId& link) { visit_link(link, t.bytes); });
+      hops = route(src, dst, visit);
     }
-    cost.max_hops = std::max(cost.max_hops, hops);
+    tally.max_hops = std::max(tally.max_hops, hops);
+    return true;
+  };
+
+  Tally total = make_tally();
+  const par::ChunkPlan cp = par::plan_chunks(n, /*min_grain=*/64);
+  if (pool == nullptr || pool->threads() <= 1 || cp.count <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!process(transfers[std::size_t(i)], total) && faulty) {
+        delivered[std::size_t(i)] = 0;
+      }
+    }
+  } else {
+    std::vector<Tally> parts(static_cast<std::size_t>(cp.count));
+    pool->run_chunks(cp.count, [&](std::int64_t c) {
+      Tally t = make_tally();
+      const std::int64_t end = cp.end(c, n);
+      for (std::int64_t i = cp.begin(c); i < end; ++i) {
+        if (!process(transfers[std::size_t(i)], t) && faulty) {
+          delivered[std::size_t(i)] = 0;
+        }
+      }
+      parts[static_cast<std::size_t>(c)] = std::move(t);
+    });
+    for (const Tally& t : parts) {
+      for (std::size_t i = 0; i < total.link_bytes.size(); ++i) {
+        total.link_bytes[i] += t.link_bytes[i];
+        total.link_msgs[i] += t.link_msgs[i];
+      }
+      for (std::size_t i = 0; i < total.node.size(); ++i) {
+        total.node[i].send_msgs += t.node[i].send_msgs;
+        total.node[i].recv_msgs += t.node[i].recv_msgs;
+        total.node[i].send_bytes += t.node[i].send_bytes;
+        total.node[i].recv_bytes += t.node[i].recv_bytes;
+        total.node[i].local_bytes += t.node[i].local_bytes;
+        total.node[i].failed_sends += t.node[i].failed_sends;
+      }
+      total.messages += t.messages;
+      total.local_messages += t.local_messages;
+      total.total_bytes += t.total_bytes;
+      total.max_hops = std::max(total.max_hops, t.max_hops);
+      total.undeliverable += t.undeliverable;
+      total.retries += t.retries;
+      total.rerouted_messages += t.rerouted_messages;
+      total.rerouted_hops += t.rerouted_hops;
+    }
+  }
+
+  cost.messages = total.messages;
+  cost.local_messages = total.local_messages;
+  cost.total_bytes = total.total_bytes;
+  cost.max_hops = total.max_hops;
+  if (stats != nullptr) {
+    stats->undeliverable_messages += total.undeliverable;
+    stats->retries += total.retries;
+    stats->rerouted_messages += total.rerouted_messages;
+    stats->rerouted_hops += total.rerouted_hops;
   }
 
   // Congestion collapse factor from the global message pressure: the
   // smallness-weighted message events per node, per pipelined round.
-  const double pressure =
-      pressure_events / double(nodes) / double(rounds);
+  // Summed over transfers in order on the calling thread (the only
+  // non-associative per-message accumulation of the exchange).
+  double pressure_events = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (faulty && delivered[std::size_t(i)] == 0) continue;
+    pressure_events +=
+        2.0 * cfg.small_msg_pressure_bytes /
+        (cfg.small_msg_pressure_bytes + double(transfers[std::size_t(i)].bytes));
+  }
+  const double pressure = pressure_events / double(nodes) / double(rounds);
   cost.congestion_factor =
       1.0 + std::min(cfg.congestion_max,
                      std::pow(pressure / cfg.congestion_kappa,
                               cfg.congestion_gamma));
 
+  if (metrics != nullptr) {
+    // Per-message census, replayed in transfer order on the calling thread
+    // (metrics are not thread-safe and must not depend on chunk timing).
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (faulty && delivered[std::size_t(i)] == 0) continue;
+      const Transfer& t = transfers[std::size_t(i)];
+      metrics->histogram("net.message_bytes").record(t.bytes);
+      metrics->indexed("net.rank_send_bytes").add(t.src_rank, t.bytes);
+      metrics->indexed("net.rank_recv_bytes").add(t.dst_rank, t.bytes);
+    }
+  }
+
   // Worst per-link serialization, derated by small-message efficiency.
   double worst_link = 0.0;
   double busiest_link_bytes = 0.0;
-  for (std::size_t i = 0; i < link_bytes.size(); ++i) {
-    if (link_msgs[i] == 0) continue;
-    const double avg_msg = link_bytes[i] / double(link_msgs[i]);
+  for (std::size_t i = 0; i < total.link_bytes.size(); ++i) {
+    if (total.link_msgs[i] == 0) continue;
+    const double bytes = double(total.link_bytes[i]);
+    const double avg_msg = bytes / double(total.link_msgs[i]);
     const double bw = cfg.torus_link_bw * message_efficiency(avg_msg);
-    worst_link = std::max(worst_link, link_bytes[i] / bw);
-    busiest_link_bytes = std::max(busiest_link_bytes, link_bytes[i]);
+    worst_link = std::max(worst_link, bytes / bw);
+    busiest_link_bytes = std::max(busiest_link_bytes, bytes);
     if (metrics != nullptr) {
       metrics->indexed("net.link_bytes")
-          .add(std::int64_t(i), std::int64_t(link_bytes[i]));
+          .add(std::int64_t(i), total.link_bytes[i]);
     }
   }
   cost.link_seconds = worst_link;
@@ -277,17 +314,18 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
   // before the round can close (BSP).
   double worst_endpoint = 0.0;
   const double local_copy_bw = 4.0 * cfg.torus_link_bw;
-  for (const NodeLoad& nl : node_load) {
+  for (const NodeLoad& nl : total.node) {
     const bool hot = double(nl.recv_msgs) > cfg.hotspot_indegree;
     const double hot_factor = hot ? cfg.hotspot_factor : 1.0;
     const double msg_cost = cfg.msg_overhead * cost.congestion_factor *
                             (double(nl.send_msgs) +
                              double(nl.recv_msgs) * hot_factor);
-    const double wire = (nl.send_bytes + nl.recv_bytes) / cfg.torus_link_bw +
-                        nl.local_bytes / local_copy_bw;
-    worst_endpoint =
-        std::max(worst_endpoint, msg_cost + wire + nl.retry_seconds);
-    cost.retry_seconds = std::max(cost.retry_seconds, nl.retry_seconds);
+    const double wire =
+        double(nl.send_bytes + nl.recv_bytes) / cfg.torus_link_bw +
+        double(nl.local_bytes) / local_copy_bw;
+    const double retry_seconds = double(nl.failed_sends) * retry_penalty;
+    worst_endpoint = std::max(worst_endpoint, msg_cost + wire + retry_seconds);
+    cost.retry_seconds = std::max(cost.retry_seconds, retry_seconds);
   }
   cost.endpoint_seconds = worst_endpoint;
 

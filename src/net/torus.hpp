@@ -21,9 +21,16 @@
 // whose endpoints are dead — or that are cut off entirely by link faults —
 // are undeliverable: the sender burns its configured retry attempts and the
 // message never enters the round.
+// Host parallelism: exchange() optionally routes its transfers on a
+// par::ThreadPool. Transfers are split into deterministic chunks, each chunk
+// accumulates into private integer tallies, and the tallies merge exactly —
+// so the priced cost is bit-identical for any host thread count (DESIGN.md
+// §8). route()/route_with_faults() are templated on the visitor, so hot
+// callers pay neither a std::function allocation nor a per-hop indirect
+// call.
 #pragma once
 
-#include <functional>
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -31,6 +38,7 @@
 #include "machine/partition.hpp"
 #include "net/transfer.hpp"
 #include "obs/metrics.hpp"
+#include "par/thread_pool.hpp"
 
 namespace pvr::net {
 
@@ -53,17 +61,71 @@ class TorusModel {
   explicit TorusModel(const machine::Partition& partition);
 
   /// Calls `visit` for every directed link on the dimension-ordered route
-  /// from node a to node b. Returns hop count.
+  /// from node a to node b. Returns hop count. Templated on the visitor so
+  /// the per-dimension link runs are accounted in a tight inlined loop.
+  template <typename Visit>
   std::int64_t route(std::int64_t node_a, std::int64_t node_b,
-                     const std::function<void(const LinkId&)>& visit) const;
+                     Visit&& visit) const {
+    const auto& part = *partition_;
+    Vec3i cur = part.coords_of_node(node_a);
+    const Vec3i dst = part.coords_of_node(node_b);
+    const Vec3i dims = part.torus_dims();
+    std::int64_t hops = 0;
+    for (int d = 0; d < 3; ++d) {
+      const std::int64_t dim = dims[d];
+      const std::int64_t fwd = (dst[d] - cur[d] + dim) % dim;
+      const bool go_plus = fwd <= dim - fwd;  // prefer + on ties
+      std::int64_t steps = go_plus ? fwd : dim - fwd;
+      hops += steps;
+      // One contiguous run along dimension d: only coordinate d changes.
+      while (steps-- > 0) {
+        visit(LinkId{part.node_of_coords(cur), d, go_plus ? 0 : 1});
+        cur[d] = (cur[d] + (go_plus ? 1 : dim - 1)) % dim;
+      }
+    }
+    PVR_ASSERT(cur == dst);
+    return hops;
+  }
 
   /// Fault-aware routing. Uses the dimension-ordered route when it is
   /// clean; otherwise finds the shortest live detour (deterministic BFS).
   /// `visit` sees the links actually traversed; nothing is visited when the
   /// destination is unreachable.
-  FaultRoute route_with_faults(
-      std::int64_t node_a, std::int64_t node_b, const fault::FaultPlan& plan,
-      const std::function<void(const LinkId&)>& visit) const;
+  template <typename Visit>
+  FaultRoute route_with_faults(std::int64_t node_a, std::int64_t node_b,
+                               const fault::FaultPlan& plan,
+                               Visit&& visit) const {
+    FaultRoute result;
+    if (plan.empty()) {
+      result.hops = route(node_a, node_b, visit);
+      return result;
+    }
+    if (plan.node_failed(node_a) || plan.node_failed(node_b)) {
+      result.reachable = false;
+      return result;
+    }
+    if (node_a == node_b) return result;
+
+    // Fast path: the dimension-ordered route, when every link on it is
+    // alive.
+    std::vector<LinkId> path;
+    route(node_a, node_b, [&](const LinkId& l) { path.push_back(l); });
+    bool clean = true;
+    for (const LinkId& l : path) {
+      if (!link_usable(l, plan)) {
+        clean = false;
+        break;
+      }
+    }
+    if (!clean && !detour(node_a, node_b, plan, &path)) {
+      result.reachable = false;
+      return result;
+    }
+    for (const LinkId& l : path) visit(l);
+    result.hops = std::int64_t(path.size());
+    result.detoured = !clean;
+    return result;
+  }
 
   /// Neighbor of `node` one hop along `dim` in direction `dir` (0=+, 1=-).
   std::int64_t neighbor(std::int64_t node, int dim, int dir) const;
@@ -91,11 +153,15 @@ class TorusModel {
   /// non-null, accumulates undeliverable/retry/reroute counters. `metrics`,
   /// if non-null, receives the round's network census: a message-size
   /// histogram, per-rank send/recv volume, per-link carried bytes, and the
-  /// busiest-link gauge (net.* names; see DESIGN.md §7).
+  /// busiest-link gauge (net.* names; see DESIGN.md §7) — always recorded
+  /// from the calling thread in transfer order. `pool`, if non-null and
+  /// multi-threaded, routes the transfers in parallel chunks; the priced
+  /// cost is bit-identical to the serial run for any thread count.
   ExchangeCost exchange(std::span<const Transfer> transfers, int rounds,
                         const fault::FaultPlan* plan,
                         fault::FaultStats* stats,
-                        obs::MetricsRegistry* metrics = nullptr) const;
+                        obs::MetricsRegistry* metrics = nullptr,
+                        par::ThreadPool* pool = nullptr) const;
 
   /// Theoretical aggregate peak bandwidth (bytes/s) for a round of messages
   /// of the given size: every node injecting at link speed, derated only by
@@ -108,6 +174,12 @@ class TorusModel {
   const machine::Partition& partition() const { return *partition_; }
 
  private:
+  /// BFS over live links, fixed neighbor order (x+, x-, y+, y-, z+, z-) so
+  /// the chosen shortest path is deterministic. Returns false when node_b
+  /// is unreachable; otherwise fills `path` with the detour's links.
+  bool detour(std::int64_t node_a, std::int64_t node_b,
+              const fault::FaultPlan& plan, std::vector<LinkId>* path) const;
+
   const machine::Partition* partition_;
 };
 

@@ -1,0 +1,166 @@
+#include "par/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pvr::par {
+
+namespace {
+
+/// True while the current thread is executing a chunk body; nested regions
+/// then run inline instead of re-entering the pool.
+thread_local bool tl_in_region = false;
+
+}  // namespace
+
+int resolve_threads(int configured) {
+  int threads = configured;
+  if (threads <= 0) {
+    threads = 1;
+    if (const char* env = std::getenv("PVR_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) threads = int(v);
+    }
+  }
+  return std::clamp(threads, 1, kMaxThreads);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+
+  // Current region, guarded by mu except for the atomics.
+  void (*invoke)(void*, std::int64_t) = nullptr;
+  void* ctx = nullptr;
+  std::int64_t num_chunks = 0;
+  std::uint64_t epoch = 0;
+  std::int64_t active_workers = 0;  ///< workers currently draining
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> finished{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  bool stop = false;
+
+  void record_error(std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lk(mu);
+    if (error == nullptr) error = std::move(e);
+    failed.store(true, std::memory_order_release);
+  }
+
+  /// Pulls chunks until the region is exhausted. After a failure the
+  /// remaining chunks are skipped (but still counted as finished so the
+  /// region drains).
+  void drain(void (*fn)(void*, std::int64_t), void* c, std::int64_t n) {
+    for (;;) {
+      const std::int64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= n) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        tl_in_region = true;
+        try {
+          fn(c, chunk);
+        } catch (...) {
+          record_error(std::current_exception());
+        }
+        tl_in_region = false;
+      }
+      if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        const std::lock_guard<std::mutex> lk(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      void (*fn)(void*, std::int64_t) = nullptr;
+      void* c = nullptr;
+      std::int64_t n = 0;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        work_cv.wait(lk, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        fn = invoke;
+        c = ctx;
+        n = num_chunks;
+        ++active_workers;
+      }
+      drain(fn, c, n);
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        if (--active_workers == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(new Impl), threads_(std::clamp(threads, 1, kMaxThreads)) {
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+    impl_->work_cv.notify_all();
+  }
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::run_chunks_impl(std::int64_t num_chunks,
+                                 void (*invoke)(void*, std::int64_t),
+                                 void* ctx) {
+  if (num_chunks <= 0) return;
+  if (impl_->workers.empty() || tl_in_region) {
+    // Serial pool or nested region: same chunks, same order, inline.
+    for (std::int64_t c = 0; c < num_chunks; ++c) invoke(ctx, c);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    // A worker that woke late for the previous region may still be draining
+    // (it will run no chunks — that region's `next` is exhausted — but it
+    // holds a snapshot of its state). Resetting `next` under it would hand
+    // it a stale chunk body, so wait for such stragglers first.
+    impl_->done_cv.wait(lk, [&] { return impl_->active_workers == 0; });
+    impl_->invoke = invoke;
+    impl_->ctx = ctx;
+    impl_->num_chunks = num_chunks;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->finished.store(0, std::memory_order_relaxed);
+    impl_->failed.store(false, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    ++impl_->epoch;
+    impl_->work_cv.notify_all();
+  }
+  impl_->drain(invoke, ctx, num_chunks);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    // Wait for every chunk AND every drained worker, so no late worker can
+    // touch this region's state after we return (and possibly reset it for
+    // the next region).
+    impl_->done_cv.wait(lk, [&] {
+      return impl_->finished.load(std::memory_order_acquire) == num_chunks &&
+             impl_->active_workers == 0;
+    });
+    error = impl_->error;
+    impl_->error = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace pvr::par

@@ -1,0 +1,145 @@
+// Deterministic host-parallel execution engine.
+//
+// The simulator's results must be a pure function of the configuration, not
+// of the host machine, so host parallelism here is deliberately
+// work-stealing-free: every parallel region is decomposed into a fixed
+// sequence of index chunks whose boundaries depend only on the range length
+// (never on the thread count), chunks write only chunk-private state, and
+// reductions merge the per-chunk partials in chunk index order. Running a
+// region on 1 thread or on 16 threads therefore performs exactly the same
+// arithmetic in exactly the same order — results are bit-identical, and the
+// serial path (null pool) is the same chunk loop run inline.
+//
+// DESIGN.md §8 documents the policy: what may run off the coordinating
+// thread (chunk bodies touching chunk-private or index-disjoint state) and
+// what may not (tracer spans, metrics, anything order-sensitive).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pvr::par {
+
+/// Hard cap on usable host threads (sanity bound for config validation).
+inline constexpr int kMaxThreads = 256;
+
+/// Threads to use for a pipeline: `configured` > 0 wins, else the
+/// PVR_THREADS environment variable (when set to a positive integer), else
+/// 1 (serial). The result is clamped to [1, kMaxThreads].
+int resolve_threads(int configured);
+
+/// Deterministic chunk decomposition of [0, n): a pure function of the
+/// range length and the minimum grain — never of the thread count — so the
+/// per-chunk accumulation structure of a reduction is identical at every
+/// parallelism level. At most kMaxChunks chunks are produced, bounding the
+/// memory of per-chunk accumulators.
+struct ChunkPlan {
+  std::int64_t count = 0;  ///< number of chunks
+  std::int64_t size = 0;   ///< indices per chunk (last chunk may be short)
+
+  std::int64_t begin(std::int64_t chunk) const { return chunk * size; }
+  std::int64_t end(std::int64_t chunk, std::int64_t n) const {
+    return std::min(n, (chunk + 1) * size);
+  }
+};
+
+inline constexpr std::int64_t kMaxChunks = 32;
+
+inline ChunkPlan plan_chunks(std::int64_t n, std::int64_t min_grain = 1) {
+  PVR_ASSERT(min_grain >= 1);
+  if (n <= 0) return {};
+  const std::int64_t size =
+      std::max(min_grain, (n + kMaxChunks - 1) / kMaxChunks);
+  return ChunkPlan{(n + size - 1) / size, size};
+}
+
+/// Fixed-size pool of persistent worker threads executing chunk indices of
+/// one parallel region at a time. The constructing ("coordinating") thread
+/// participates in every region, so ThreadPool(1) spawns no workers at all.
+/// Regions are issued one at a time from the coordinating thread; a region
+/// issued from inside another region's chunk body runs inline (serially, in
+/// chunk order) rather than deadlocking.
+///
+/// The first exception thrown by a chunk body is captured, the remaining
+/// chunks are skipped, and the exception is rethrown on the coordinating
+/// thread once the region has drained.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs body(chunk) for every chunk in [0, num_chunks). Which thread runs
+  /// which chunk is unspecified; bodies must only touch chunk-private or
+  /// chunk-disjoint state.
+  template <typename Body>
+  void run_chunks(std::int64_t num_chunks, Body&& body) {
+    using Fn = std::remove_reference_t<Body>;
+    run_chunks_impl(
+        num_chunks,
+        [](void* ctx, std::int64_t chunk) { (*static_cast<Fn*>(ctx))(chunk); },
+        &body);
+  }
+
+ private:
+  struct Impl;
+  void run_chunks_impl(std::int64_t num_chunks,
+                       void (*invoke)(void*, std::int64_t), void* ctx);
+
+  Impl* impl_ = nullptr;
+  int threads_ = 1;
+};
+
+/// Runs body(begin, end, chunk) over the deterministic chunks of [0, n).
+/// A null/1-thread pool (or a single-chunk plan) runs the identical chunk
+/// loop inline on the calling thread.
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::int64_t n, std::int64_t min_grain,
+                  Body&& body) {
+  const ChunkPlan plan = plan_chunks(n, min_grain);
+  if (plan.count == 0) return;
+  if (pool == nullptr || pool->threads() <= 1 || plan.count == 1) {
+    for (std::int64_t c = 0; c < plan.count; ++c) {
+      body(plan.begin(c), plan.end(c, n), c);
+    }
+    return;
+  }
+  pool->run_chunks(plan.count,
+                   [&](std::int64_t c) { body(plan.begin(c), plan.end(c, n), c); });
+}
+
+/// Chunk-ordered reduction over [0, n): map(begin, end, chunk) produces one
+/// partial per chunk, and merge(acc, partial) folds the partials in chunk
+/// index order — so the result is independent of the thread count and equal
+/// to the serial (null-pool) run bit for bit, even for floating-point
+/// accumulators.
+template <typename T, typename Map, typename Merge>
+T parallel_reduce(ThreadPool* pool, std::int64_t n, std::int64_t min_grain,
+                  T init, Map&& map, Merge&& merge) {
+  const ChunkPlan plan = plan_chunks(n, min_grain);
+  if (plan.count == 0) return init;
+  if (pool == nullptr || pool->threads() <= 1 || plan.count == 1) {
+    for (std::int64_t c = 0; c < plan.count; ++c) {
+      merge(init, map(plan.begin(c), plan.end(c, n), c));
+    }
+    return init;
+  }
+  std::vector<T> parts(static_cast<std::size_t>(plan.count));
+  pool->run_chunks(plan.count, [&](std::int64_t c) {
+    parts[static_cast<std::size_t>(c)] = map(plan.begin(c), plan.end(c, n), c);
+  });
+  for (std::int64_t c = 0; c < plan.count; ++c) {
+    merge(init, std::move(parts[static_cast<std::size_t>(c)]));
+  }
+  return init;
+}
+
+}  // namespace pvr::par

@@ -43,6 +43,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
 #include "render/camera.hpp"
 #include "render/decomposition.hpp"
 #include "render/raycaster.hpp"

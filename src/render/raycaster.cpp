@@ -7,6 +7,17 @@
 
 namespace pvr::render {
 
+namespace {
+
+/// Sums per-chunk sample tallies in chunk index order (exact — integers).
+std::int64_t merge_samples(const std::vector<std::int64_t>& chunk_samples) {
+  std::int64_t total = 0;
+  for (const std::int64_t s : chunk_samples) total += s;
+  return total;
+}
+
+}  // namespace
+
 Raycaster::Raycaster(const Vec3i& volume_dims, RenderConfig config)
     : dims_(volume_dims), config_(config) {
   PVR_REQUIRE(dims_.x > 0 && dims_.y > 0 && dims_.z > 0,
@@ -14,6 +25,7 @@ Raycaster::Raycaster(const Vec3i& volume_dims, RenderConfig config)
   PVR_REQUIRE(config_.step_voxels > 0, "step must be positive");
   PVR_REQUIRE(config_.value_hi > config_.value_lo, "bad value range");
   h_ = voxel_size(dims_);
+  inv_h_ = 1.0 / h_;
   step_world_ = config_.step_voxels * h_;
 }
 
@@ -22,7 +34,7 @@ float Raycaster::sample_world(const Brick& brick, const Vec3d& world) const {
   std::int64_t i0[3];
   double frac[3];
   for (int a = 0; a < 3; ++a) {
-    const double v = world[a] / h_ - 0.5;  // voxel-center convention
+    const double v = world[a] * inv_h_ - 0.5;  // voxel-center convention
     double fl = std::floor(v);
     std::int64_t i = std::int64_t(fl);
     double f = v - fl;
@@ -61,22 +73,30 @@ float Raycaster::sample_world(const Brick& brick, const Vec3d& world) const {
 }
 
 Rgba Raycaster::integrate_ray(const Brick& brick, const Box3d& region_world,
-                              const Ray& ray, const TransferFunction& tf,
+                              bool region_is_volume, const Ray& ray,
+                              const TransferFunction& tf,
                               std::int64_t* samples) const {
   const Box3d vol = world_box(dims_);
   const auto vol_hit = intersect(ray, vol);
   if (!vol_hit) return kTransparent;
-  const auto reg_hit = intersect(ray, region_world);
-  if (!reg_hit) return kTransparent;
+  // When the region IS the volume box (serial reference, 1-block runs) the
+  // second intersection would recompute vol_hit exactly.
+  double reg_enter = vol_hit->t_enter;
+  double reg_exit = vol_hit->t_exit;
+  if (!region_is_volume) {
+    const auto reg_hit = intersect(ray, region_world);
+    if (!reg_hit) return kTransparent;
+    reg_enter = reg_hit->t_enter;
+    reg_exit = reg_hit->t_exit;
+  }
 
   // Global lattice: t_k = t0 + k * dt with t0 the volume entry point, so
   // every block of the same volume samples identical positions.
   const double t0 = vol_hit->t_enter;
   const double dt = step_world_;
   std::int64_t k = std::max<std::int64_t>(
-      0, std::int64_t(std::floor((reg_hit->t_enter - t0) / dt)) - 1);
-  const std::int64_t k_end =
-      std::int64_t(std::ceil((reg_hit->t_exit - t0) / dt)) + 1;
+      0, std::int64_t(std::floor((reg_enter - t0) / dt)) - 1);
+  const std::int64_t k_end = std::int64_t(std::ceil((reg_exit - t0) / dt)) + 1;
 
   const float inv_range = 1.0f / (config_.value_hi - config_.value_lo);
   const float step = float(config_.step_voxels);
@@ -112,39 +132,65 @@ void require_ghost_coverage(const Brick& brick, const Box3i& owned,
               "brick does not cover owned box + ghost layer");
 }
 
+bool same_box(const Box3d& a, const Box3d& b) {
+  return a.lo.x == b.lo.x && a.lo.y == b.lo.y && a.lo.z == b.lo.z &&
+         a.hi.x == b.hi.x && a.hi.y == b.hi.y && a.hi.z == b.hi.z;
+}
+
 }  // namespace
 
 SubImage Raycaster::render_block(const Brick& brick, const Box3i& owned,
                                  const Camera& camera,
-                                 const TransferFunction& tf) const {
+                                 const TransferFunction& tf,
+                                 par::ThreadPool* pool) const {
   PVR_REQUIRE(!owned.empty(), "owned box must not be empty");
   require_ghost_coverage(brick, owned, dims_);
 
   const Box3d region = world_box_of(owned, dims_);
+  const bool region_is_volume = same_box(region, world_box(dims_));
   SubImage out;
   out.rect = camera.footprint(region);
   out.depth = camera.depth_of(
       {region.center().x, region.center().y, region.center().z});
   out.pixels.assign(std::size_t(out.rect.pixel_count()), kTransparent);
-  std::size_t i = 0;
-  for (int py = out.rect.y0; py < out.rect.y1; ++py) {
-    for (int px = out.rect.x0; px < out.rect.x1; ++px) {
-      out.pixels[i++] =
-          integrate_ray(brick, region, camera.ray(px, py), tf, &out.samples);
-    }
-  }
+
+  // Scanline chunks: each chunk writes a disjoint row range of out.pixels
+  // and tallies its own sample count; rays are independent, so any thread
+  // count produces identical pixels, and the chunk-ordered sample merge is
+  // exact.
+  const std::int64_t rows = out.rect.y1 - out.rect.y0;
+  const std::size_t width = std::size_t(out.rect.x1 - out.rect.x0);
+  std::vector<std::int64_t> chunk_samples(
+      std::size_t(par::plan_chunks(rows).count), 0);
+  par::parallel_for(
+      pool, rows, /*min_grain=*/1,
+      [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t chunk) {
+        std::int64_t samples = 0;
+        for (std::int64_t row = row_begin; row < row_end; ++row) {
+          const int py = out.rect.y0 + int(row);
+          std::size_t i = std::size_t(row) * width;
+          for (int px = out.rect.x0; px < out.rect.x1; ++px) {
+            out.pixels[i++] = integrate_ray(brick, region, region_is_volume,
+                                            camera.ray(px, py), tf, &samples);
+          }
+        }
+        chunk_samples[std::size_t(chunk)] = samples;
+      });
+  out.samples = merge_samples(chunk_samples);
   return out;
 }
 
 SubImage Raycaster::render_block_bivariate(
     const Brick& color_brick, const Brick& opacity_brick, const Box3i& owned,
-    const Camera& camera, const BivariateTransferFunction& tf) const {
+    const Camera& camera, const BivariateTransferFunction& tf,
+    par::ThreadPool* pool) const {
   PVR_REQUIRE(!owned.empty(), "owned box must not be empty");
   require_ghost_coverage(color_brick, owned, dims_);
   require_ghost_coverage(opacity_brick, owned, dims_);
 
   const Box3d vol = world_box(dims_);
   const Box3d region = world_box_of(owned, dims_);
+  const bool region_is_volume = same_box(region, vol);
   SubImage out;
   out.rect = camera.footprint(region);
   out.depth = camera.depth_of(
@@ -154,56 +200,84 @@ SubImage Raycaster::render_block_bivariate(
   const float inv_range = 1.0f / (config_.value_hi - config_.value_lo);
   const float step = float(config_.step_voxels);
   const double dt = step_world_;
-  std::size_t i = 0;
-  for (int py = out.rect.y0; py < out.rect.y1; ++py) {
-    for (int px = out.rect.x0; px < out.rect.x1; ++px, ++i) {
-      const Ray ray = camera.ray(px, py);
-      const auto vol_hit = intersect(ray, vol);
-      if (!vol_hit) continue;
-      const auto reg_hit = intersect(ray, region);
-      if (!reg_hit) continue;
-      const double t0 = vol_hit->t_enter;
-      std::int64_t k = std::max<std::int64_t>(
-          0, std::int64_t(std::floor((reg_hit->t_enter - t0) / dt)) - 1);
-      const std::int64_t k_end =
-          std::int64_t(std::ceil((reg_hit->t_exit - t0) / dt)) + 1;
-      Rgba acc = kTransparent;
-      for (; k <= k_end; ++k) {
-        const double t = t0 + double(k) * dt;
-        if (t > vol_hit->t_exit) break;
-        const Vec3d p = ray.at(t);
-        if (p.x < region.lo.x || p.x >= region.hi.x || p.y < region.lo.y ||
-            p.y >= region.hi.y || p.z < region.lo.z || p.z >= region.hi.z) {
-          continue;
+  const std::int64_t rows = out.rect.y1 - out.rect.y0;
+  const std::size_t width = std::size_t(out.rect.x1 - out.rect.x0);
+  std::vector<std::int64_t> chunk_samples(
+      std::size_t(par::plan_chunks(rows).count), 0);
+  par::parallel_for(
+      pool, rows, /*min_grain=*/1,
+      [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t chunk) {
+        std::int64_t samples = 0;
+        for (std::int64_t row = row_begin; row < row_end; ++row) {
+          const int py = out.rect.y0 + int(row);
+          std::size_t i = std::size_t(row) * width;
+          for (int px = out.rect.x0; px < out.rect.x1; ++px, ++i) {
+            const Ray ray = camera.ray(px, py);
+            const auto vol_hit = intersect(ray, vol);
+            if (!vol_hit) continue;
+            double reg_enter = vol_hit->t_enter;
+            double reg_exit = vol_hit->t_exit;
+            if (!region_is_volume) {
+              const auto reg_hit = intersect(ray, region);
+              if (!reg_hit) continue;
+              reg_enter = reg_hit->t_enter;
+              reg_exit = reg_hit->t_exit;
+            }
+            const double t0 = vol_hit->t_enter;
+            std::int64_t k = std::max<std::int64_t>(
+                0, std::int64_t(std::floor((reg_enter - t0) / dt)) - 1);
+            const std::int64_t k_end =
+                std::int64_t(std::ceil((reg_exit - t0) / dt)) + 1;
+            Rgba acc = kTransparent;
+            for (; k <= k_end; ++k) {
+              const double t = t0 + double(k) * dt;
+              if (t > vol_hit->t_exit) break;
+              const Vec3d p = ray.at(t);
+              if (p.x < region.lo.x || p.x >= region.hi.x ||
+                  p.y < region.lo.y || p.y >= region.hi.y ||
+                  p.z < region.lo.z || p.z >= region.hi.z) {
+                continue;
+              }
+              const float cv =
+                  (sample_world(color_brick, p) - config_.value_lo) *
+                  inv_range;
+              const float ov =
+                  (sample_world(opacity_brick, p) - config_.value_lo) *
+                  inv_range;
+              acc.blend_under(tf.sample(cv, ov, step));
+              ++samples;
+              if (acc.a >= float(config_.early_termination)) break;
+            }
+            out.pixels[i] = acc;
+          }
         }
-        const float cv = (sample_world(color_brick, p) - config_.value_lo) *
-                         inv_range;
-        const float ov = (sample_world(opacity_brick, p) -
-                          config_.value_lo) *
-                         inv_range;
-        acc.blend_under(tf.sample(cv, ov, step));
-        ++out.samples;
-        if (acc.a >= float(config_.early_termination)) break;
-      }
-      out.pixels[i] = acc;
-    }
-  }
+        chunk_samples[std::size_t(chunk)] = samples;
+      });
+  out.samples = merge_samples(chunk_samples);
   return out;
 }
 
 Image Raycaster::render_full(const Brick& brick, const Camera& camera,
-                             const TransferFunction& tf) const {
+                             const TransferFunction& tf,
+                             par::ThreadPool* pool) const {
   const Box3i whole{{0, 0, 0}, dims_};
   PVR_REQUIRE(brick.box() == whole, "full render needs the whole volume");
   const Box3d region = world_box(dims_);
   Image img(camera.width(), camera.height());
-  std::int64_t samples = 0;
-  for (int py = 0; py < camera.height(); ++py) {
-    for (int px = 0; px < camera.width(); ++px) {
-      img.at(px, py) =
-          integrate_ray(brick, region, camera.ray(px, py), tf, &samples);
-    }
-  }
+  const std::int64_t rows = camera.height();
+  par::parallel_for(
+      pool, rows, /*min_grain=*/1,
+      [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
+        std::int64_t samples = 0;  // render_full does not report samples
+        for (std::int64_t row = row_begin; row < row_end; ++row) {
+          const int py = int(row);
+          for (int px = 0; px < camera.width(); ++px) {
+            img.at(px, py) = integrate_ray(brick, region, /*region_is_volume=*/
+                                           true, camera.ray(px, py), tf,
+                                           &samples);
+          }
+        }
+      });
   return img;
 }
 

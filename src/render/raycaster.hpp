@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "par/thread_pool.hpp"
 #include "render/camera.hpp"
 #include "render/transfer_function.hpp"
 #include "util/brick.hpp"
@@ -49,36 +50,45 @@ class Raycaster {
   /// Renders the given owned region (`owned` voxel box, half-open) from
   /// `brick`, which must cover owned plus a one-voxel ghost layer (clipped
   /// to the volume). Only pixels inside the block's screen footprint are
-  /// produced.
+  /// produced. `pool`, if non-null and multi-threaded, renders scanline
+  /// chunks in parallel; pixels and sample counts are bit-identical for any
+  /// thread count (rays are independent; per-chunk sample tallies merge in
+  /// chunk order — DESIGN.md §8).
   SubImage render_block(const Brick& brick, const Box3i& owned,
-                        const Camera& camera,
-                        const TransferFunction& tf) const;
+                        const Camera& camera, const TransferFunction& tf,
+                        par::ThreadPool* pool = nullptr) const;
 
   /// Bivariate variant: color sampled from `color_brick`, opacity from
   /// `opacity_brick` (both must cover owned + ghost).
   SubImage render_block_bivariate(const Brick& color_brick,
                                   const Brick& opacity_brick,
                                   const Box3i& owned, const Camera& camera,
-                                  const BivariateTransferFunction& tf) const;
+                                  const BivariateTransferFunction& tf,
+                                  par::ThreadPool* pool = nullptr) const;
 
   /// Serial reference: renders the whole volume from a single brick
   /// covering it, into a full image.
   Image render_full(const Brick& brick, const Camera& camera,
-                    const TransferFunction& tf) const;
+                    const TransferFunction& tf,
+                    par::ThreadPool* pool = nullptr) const;
 
   /// Trilinear sample of the brick at a world position (voxel-center
   /// convention, edge-clamped at volume borders).
   float sample_world(const Brick& brick, const Vec3d& world) const;
 
  private:
+  /// `region_is_volume` skips the second (redundant) box intersection when
+  /// the region is the whole volume box, as in render_full and single-block
+  /// runs.
   Rgba integrate_ray(const Brick& brick, const Box3d& region_world,
-                     const Ray& ray, const TransferFunction& tf,
-                     std::int64_t* samples) const;
+                     bool region_is_volume, const Ray& ray,
+                     const TransferFunction& tf, std::int64_t* samples) const;
 
   Vec3i dims_;
   RenderConfig config_;
   double step_world_ = 0.0;
-  double h_ = 0.0;  ///< voxel size in world units
+  double h_ = 0.0;      ///< voxel size in world units
+  double inv_h_ = 0.0;  ///< 1 / h_, hoisted out of the per-sample divide
 };
 
 }  // namespace pvr::render

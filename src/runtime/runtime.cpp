@@ -26,18 +26,20 @@ Runtime::Runtime(const machine::Partition& partition, Mode mode)
       tree_(partition) {}
 
 net::ExchangeCost Runtime::exchange(const ProduceFn& produce,
-                                    const ConsumeFn& consume) {
+                                    const ConsumeFn& consume,
+                                    ConsumePolicy policy) {
   std::vector<Message> messages;
   for (std::int64_t r = 0; r < num_ranks(); ++r) {
     Sender sender(r, num_ranks(), &messages);
     produce(r, sender);
   }
-  return exchange_messages(std::move(messages), consume);
+  return exchange_messages(std::move(messages), consume, /*rounds=*/1, policy);
 }
 
 net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
                                              const ConsumeFn& consume,
-                                             int rounds) {
+                                             int rounds,
+                                             ConsumePolicy policy) {
   std::vector<net::Transfer> transfers;
   transfers.reserve(messages.size());
   for (const Message& m : messages) {
@@ -49,7 +51,8 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
                                                       : fault::FaultStats{};
   const net::ExchangeCost cost =
       torus_.exchange(transfers, rounds, fault_plan_, fault_stats_,
-                      tracer_ != nullptr ? &tracer_->metrics() : nullptr);
+                      tracer_ != nullptr ? &tracer_->metrics() : nullptr,
+                      pool_);
   ledger_.exchange += cost.seconds;
   if (tracer_ != nullptr) {
     span.arg("messages", double(cost.messages));
@@ -84,6 +87,13 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
       });
     }
     std::stable_sort(messages.begin(), messages.end(), MessageOrder{});
+    // Group the sorted inbox by destination rank. Groups are disjoint, and
+    // the message order within each group is the deterministic sorted order
+    // regardless of the consume policy.
+    struct Group {
+      std::size_t begin, count;
+    };
+    std::vector<Group> groups;
     std::size_t i = 0;
     while (i < messages.size()) {
       std::size_t j = i;
@@ -91,9 +101,26 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
              messages[j].dst_rank == messages[i].dst_rank) {
         ++j;
       }
-      consume(messages[i].dst_rank,
-              std::span<const Message>(&messages[i], j - i));
+      groups.push_back(Group{i, j - i});
       i = j;
+    }
+    if (policy == ConsumePolicy::kParallelRanks && pool_ != nullptr &&
+        pool_->threads() > 1) {
+      par::parallel_for(
+          pool_, std::int64_t(groups.size()), /*min_grain=*/1,
+          [&](std::int64_t begin, std::int64_t end, std::int64_t) {
+            for (std::int64_t g = begin; g < end; ++g) {
+              const Group& grp = groups[std::size_t(g)];
+              consume(messages[grp.begin].dst_rank,
+                      std::span<const Message>(&messages[grp.begin],
+                                               grp.count));
+            }
+          });
+    } else {
+      for (const Group& grp : groups) {
+        consume(messages[grp.begin].dst_rank,
+                std::span<const Message>(&messages[grp.begin], grp.count));
+      }
     }
   }
   return cost;

@@ -25,6 +25,7 @@
 #include "net/transfer.hpp"
 #include "net/tree.hpp"
 #include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
 #include "runtime/message.hpp"
 #include "util/error.hpp"
 
@@ -97,6 +98,14 @@ class Runtime {
   /// default) makes all instrumentation free.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches (or with nullptr detaches) a host thread pool. While attached,
+  /// torus exchange pricing routes transfers in parallel, and consumers that
+  /// opt in via ConsumePolicy::kParallelRanks drain rank inboxes in
+  /// parallel. All results stay bit-identical to the serial run (DESIGN.md
+  /// §8). Borrowed pointer.
+  void set_pool(par::ThreadPool* pool) { pool_ = pool; }
+  par::ThreadPool* pool() const { return pool_; }
   /// True when an active fault plan marks the rank's node as failed.
   bool rank_failed(std::int64_t rank) const {
     return fault_plan_ != nullptr &&
@@ -107,19 +116,27 @@ class Runtime {
   using ConsumeFn =
       std::function<void(std::int64_t rank, std::span<const Message> inbox)>;
 
+  /// How the consume callback may be driven when a thread pool is attached.
+  /// kParallelRanks is an opt-in contract from the caller: consume(rank, ..)
+  /// touches only rank-private (rank-indexed, pre-sized) state, so distinct
+  /// ranks' inboxes may drain on different threads. Message order *within*
+  /// one rank's inbox is unchanged either way, and rank inboxes are disjoint
+  /// — the produced data is identical to a serial drain.
+  enum class ConsumePolicy { kSerial, kParallelRanks };
+
   /// One communication superstep: every rank produces messages, the round is
   /// priced on the torus, and (in any mode) each receiving rank consumes its
   /// inbox in deterministic order. Returns the round's cost; also adds it to
   /// the ledger.
-  net::ExchangeCost exchange(const ProduceFn& produce,
-                             const ConsumeFn& consume);
+  net::ExchangeCost exchange(const ProduceFn& produce, const ConsumeFn& consume,
+                             ConsumePolicy policy = ConsumePolicy::kSerial);
 
   /// Prices an explicit message list (schedule-driven phases that already
   /// built their messages). Consumes inboxes if `consume` is non-null.
   /// `rounds` models pipelined issue (see TorusModel::exchange).
-  net::ExchangeCost exchange_messages(std::vector<Message> messages,
-                                      const ConsumeFn& consume = nullptr,
-                                      int rounds = 1);
+  net::ExchangeCost exchange_messages(
+      std::vector<Message> messages, const ConsumeFn& consume = nullptr,
+      int rounds = 1, ConsumePolicy policy = ConsumePolicy::kSerial);
 
   /// Compute phase: runs `body` on every rank; the phase costs the maximum
   /// of the reported per-rank durations. `body` returns its rank's modeled
@@ -148,6 +165,7 @@ class Runtime {
   const fault::FaultPlan* fault_plan_ = nullptr;
   fault::FaultStats* fault_stats_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  par::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace pvr::runtime

@@ -1,0 +1,273 @@
+// Deterministic host-parallelism tests: chunk planning, pool semantics
+// (exceptions, nesting), bit-identical reductions at several thread counts,
+// and pipeline-level identity — stats, trace JSON, and image bytes must not
+// depend on host_threads.
+#include <unistd.h>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/pipeline.hpp"
+#include "data/writers.hpp"
+#include "obs/export.hpp"
+#include "par/thread_pool.hpp"
+
+namespace pvr::par {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(PlanChunksTest, CoversRangeExactlyAndRespectsGrain) {
+  for (const std::int64_t n : {1, 2, 31, 32, 33, 100, 4096, 100000}) {
+    for (const std::int64_t grain : {1, 7, 64}) {
+      const ChunkPlan plan = plan_chunks(n, grain);
+      ASSERT_GE(plan.count, 1);
+      ASSERT_LE(plan.count, kMaxChunks);
+      std::int64_t covered = 0;
+      for (std::int64_t c = 0; c < plan.count; ++c) {
+        EXPECT_EQ(plan.begin(c), covered);
+        EXPECT_GT(plan.end(c, n), plan.begin(c));
+        covered = plan.end(c, n);
+      }
+      EXPECT_EQ(covered, n);
+      if (plan.count > 1) {
+        EXPECT_GE(plan.size, grain);
+      }
+    }
+  }
+  EXPECT_EQ(plan_chunks(0).count, 0);
+}
+
+TEST(PlanChunksTest, BoundariesDependOnlyOnLength) {
+  // The decomposition must be a pure function of (n, grain) — never of any
+  // thread count — or per-chunk reductions would change with parallelism.
+  const ChunkPlan a = plan_chunks(1000, 8);
+  const ChunkPlan b = plan_chunks(1000, 8);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.size, b.size);
+}
+
+TEST(ResolveThreadsTest, ConfiguredEnvAndClamp) {
+  ::setenv("PVR_THREADS", "6", 1);
+  EXPECT_EQ(resolve_threads(3), 3);   // explicit config wins over env
+  EXPECT_EQ(resolve_threads(0), 6);   // 0 defers to PVR_THREADS
+  ::setenv("PVR_THREADS", "not-a-number", 1);
+  EXPECT_EQ(resolve_threads(0), 1);   // garbage env -> serial
+  ::setenv("PVR_THREADS", "-2", 1);
+  EXPECT_EQ(resolve_threads(0), 1);
+  ::unsetenv("PVR_THREADS");
+  EXPECT_EQ(resolve_threads(0), 1);   // no config, no env -> serial
+  EXPECT_EQ(resolve_threads(100000), kMaxThreads);
+}
+
+TEST(ParallelForTest, WritesEveryIndexOnceAtAnyThreadCount) {
+  const std::int64_t n = 1337;
+  for (const int threads : {1, 2, 7}) {
+    ThreadPool pool(threads);
+    std::vector<int> hits(std::size_t(n), 0);
+    parallel_for(&pool, n, 1,
+                 [&](std::int64_t b, std::int64_t e, std::int64_t) {
+                   for (std::int64_t i = b; i < e; ++i) {
+                     ++hits[std::size_t(i)];
+                   }
+                 });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n)
+        << "threads=" << threads;
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+  }
+}
+
+TEST(ParallelReduceTest, FloatingPointSumIsBitIdenticalAcrossThreadCounts) {
+  // A deliberately ill-conditioned sum: magnitudes spanning ~16 decades, so
+  // any change in accumulation order changes the result. The chunk-ordered
+  // merge must make 1, 2, and 7 threads (and the null pool) agree bit for
+  // bit.
+  const std::int64_t n = 20000;
+  const auto map = [](std::int64_t b, std::int64_t e, std::int64_t) {
+    double sum = 0.0;
+    for (std::int64_t i = b; i < e; ++i) {
+      sum += std::pow(10.0, double(i % 17) - 8.0) * double(i + 1);
+    }
+    return sum;
+  };
+  const auto merge = [](double& acc, double part) { acc += part; };
+
+  const double serial = parallel_reduce(nullptr, n, 1, 0.0, map, merge);
+  for (const int threads : {1, 2, 7}) {
+    ThreadPool pool(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      const double got = parallel_reduce(&pool, n, 1, 0.0, map, merge);
+      // Exact comparison on purpose: determinism, not accuracy.
+      EXPECT_EQ(got, serial) << "threads=" << threads << " rep=" << rep;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  const auto boom = [&] {
+    parallel_for(&pool, 1000, 1,
+                 [&](std::int64_t b, std::int64_t, std::int64_t) {
+                   if (b >= 500) throw std::runtime_error("chunk failed");
+                 });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  // The pool must stay usable after a failed region, and later regions must
+  // not see stale failure state.
+  for (int rep = 0; rep < 2; ++rep) {
+    EXPECT_THROW(boom(), std::runtime_error);
+    std::int64_t sum = parallel_reduce(
+        &pool, 100, 1, std::int64_t{0},
+        [](std::int64_t b, std::int64_t e, std::int64_t) { return e - b; },
+        [](std::int64_t& acc, std::int64_t part) { acc += part; });
+    EXPECT_EQ(sum, 100);
+  }
+}
+
+TEST(ThreadPoolTest, NestedRegionsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(&pool, 64, 1,
+               [&](std::int64_t b, std::int64_t e, std::int64_t) {
+                 // Re-entering the pool from a chunk body must not deadlock;
+                 // the inner region runs inline on this thread.
+                 std::int64_t inner = 0;
+                 parallel_for(&pool, 10, 1,
+                              [&](std::int64_t ib, std::int64_t ie,
+                                  std::int64_t) { inner += ie - ib; });
+                 total += inner * (e - b);
+               });
+  EXPECT_EQ(total.load(), 640);
+}
+
+// --- pipeline-level identity ------------------------------------------------
+
+class TempDir {
+ public:
+  TempDir()
+      : path_(fs::temp_directory_path() /
+              ("pvr_par_test_" + std::to_string(::getpid()))) {
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+core::ExperimentConfig small_config(int host_threads,
+                                    std::int64_t ranks = 8) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 24);
+  cfg.variable = cfg.dataset.variables.front();
+  cfg.image_width = 48;
+  cfg.image_height = 48;
+  cfg.render.step_voxels = 1.0;
+  cfg.render.early_termination = 1.0;
+  cfg.composite.policy = compose::CompositorPolicy::kOriginal;
+  cfg.host_threads = host_threads;
+  return cfg;
+}
+
+void expect_same_frame(const core::FrameStats& a, const core::FrameStats& b) {
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.render_seconds, b.render_seconds);
+  EXPECT_EQ(a.composite_seconds, b.composite_seconds);
+  EXPECT_EQ(a.io.useful_bytes, b.io.useful_bytes);
+  EXPECT_EQ(a.render.total_samples, b.render.total_samples);
+  EXPECT_EQ(a.render.max_rank_samples, b.render.max_rank_samples);
+  EXPECT_EQ(a.composite.messages, b.composite.messages);
+  EXPECT_EQ(a.composite.bytes, b.composite.bytes);
+  EXPECT_EQ(a.composite.exchange.seconds, b.composite.exchange.seconds);
+  EXPECT_EQ(a.composite.exchange.congestion_factor,
+            b.composite.exchange.congestion_factor);
+  EXPECT_EQ(a.composite.exchange.max_hops, b.composite.exchange.max_hops);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.undeliverable_messages, b.faults.undeliverable_messages);
+  EXPECT_EQ(a.faults.rerouted_messages, b.faults.rerouted_messages);
+  EXPECT_EQ(a.faults.coverage, b.faults.coverage);
+}
+
+TEST(PipelineIdentityTest, ModelFrameStatsAndTraceMatchAcrossThreadCounts) {
+  std::string reference_trace;
+  core::FrameStats reference;
+  for (const int threads : {1, 4}) {
+    obs::Tracer tracer;
+    core::ParallelVolumeRenderer pvr(small_config(threads, 64));
+    pvr.set_tracer(&tracer);
+    const core::FrameStats stats = pvr.model_frame();
+    const std::string trace = obs::to_chrome_trace_json(tracer);
+    if (threads == 1) {
+      EXPECT_EQ(pvr.pool(), nullptr);  // serial resolves to no pool at all
+      reference = stats;
+      reference_trace = trace;
+    } else {
+      ASSERT_NE(pvr.pool(), nullptr);
+      EXPECT_EQ(pvr.pool()->threads(), threads);
+      expect_same_frame(reference, stats);
+      EXPECT_EQ(reference_trace, trace);  // byte-identical trace JSON
+    }
+  }
+}
+
+TEST(PipelineIdentityTest, FaultyModelFrameMatchesAcrossThreadCounts) {
+  fault::FaultPlan plan;
+  plan.fail_node(1);
+  plan.fail_node(3);
+  plan.fail_link(5, 0, 0);
+  std::string reference_trace;
+  core::FrameStats reference;
+  for (const int threads : {1, 4}) {
+    obs::Tracer tracer;
+    core::ParallelVolumeRenderer pvr(small_config(threads, 64));
+    pvr.set_tracer(&tracer);
+    const core::FrameStats stats = pvr.model_frame_with_faults(plan);
+    const std::string trace = obs::to_chrome_trace_json(tracer);
+    if (threads == 1) {
+      reference = stats;
+      reference_trace = trace;
+      EXPECT_GT(stats.faults.rerouted_messages, 0);
+    } else {
+      expect_same_frame(reference, stats);
+      EXPECT_EQ(reference_trace, trace);
+    }
+  }
+}
+
+TEST(PipelineIdentityTest, ExecuteFrameImageBytesMatchAcrossThreadCounts) {
+  TempDir dir;
+  const std::string path = dir.file("vol.raw");
+  data::write_supernova_file(small_config(1).dataset, path, 1530);
+
+  Image reference;
+  core::FrameStats reference_stats;
+  for (const int threads : {1, 4}) {
+    core::ParallelVolumeRenderer pvr(small_config(threads));
+    Image out;
+    const core::FrameStats stats = pvr.execute_frame(path, &out);
+    if (threads == 1) {
+      reference = out;
+      reference_stats = stats;
+    } else {
+      expect_same_frame(reference_stats, stats);
+      ASSERT_EQ(out.width(), reference.width());
+      ASSERT_EQ(out.height(), reference.height());
+      // Byte-for-byte: host parallelism must not change a single pixel bit.
+      EXPECT_EQ(std::memcmp(out.pixels().data(), reference.pixels().data(),
+                            out.pixels().size_bytes()),
+                0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvr::par
