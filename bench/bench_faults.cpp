@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   bench_config_set("size", "1120^3/1600^2");
   bench_config_set("seed", "42");
   bench_config_set("rates", "0%, 0.5%, 1%, 2%, 5% at 4096 procs; "
-                            "1% at 256..4096 procs");
+                            "1% at 256..4096 procs; "
+                            "compositor sweep at 0.5%, 1%, 2%");
 
   // --- Sweep 1: failure rate at a fixed 4096-core partition. ---
   {
@@ -78,6 +79,52 @@ int main(int argc, char** argv) {
       register_sim("faults/scale/" + pvr::fmt_procs(p), f.total_seconds(),
                    {{"coverage", f.faults.coverage},
                     {"healthy_s", healthy}});
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- Sweep 3: failure rate x compositing algorithm at 4096 procs. ---
+  // Direct-send recovers by tile reassignment; binary swap and radix-k by
+  // partner substitution. Same plan, same coverage — the price differs.
+  {
+    pvr::TextTable table(
+        "Faults F3 — compositor recovery, 4096 procs, 1120^3/1600^2");
+    table.set_header({"compositor", "fail_rate", "composite_s", "coverage",
+                      "substituted", "proxied", "retries"});
+    struct Algo {
+      const char* name;
+      pvr::compose::CompositeAlgorithm algorithm;
+    };
+    const Algo algos[] = {
+        {"direct_send", pvr::compose::CompositeAlgorithm::kDirectSend},
+        {"binary_swap", pvr::compose::CompositeAlgorithm::kBinarySwap},
+        {"radix_k", pvr::compose::CompositeAlgorithm::kRadixK}};
+    for (const Algo& algo : algos) {
+      ExperimentConfig cfg = paper_config(4096, 1120, 1600);
+      cfg.composite.algorithm = algo.algorithm;
+      ParallelVolumeRenderer renderer(cfg);
+      for (const double rate : {0.005, 0.01, 0.02}) {
+        FaultSpec spec;
+        spec.seed = 42;
+        spec.node_fail_rate = rate;
+        const FaultPlan plan = FaultPlan::generate(
+            renderer.partition(), cfg.storage, spec);
+        const FrameStats f = renderer.model_frame_with_faults(plan);
+        table.add_row(
+            {algo.name, pvr::fmt_f(rate * 100.0, 1) + "%",
+             pvr::fmt_f(f.composite_seconds, 3),
+             pvr::fmt_f(f.faults.coverage * 100.0, 1) + "%",
+             std::to_string(f.faults.substituted_partners),
+             std::to_string(f.faults.proxied_messages),
+             std::to_string(f.faults.retries)});
+        register_sim("faults/compositor/" + std::string(algo.name) + "/" +
+                         pvr::fmt_f(rate * 100.0, 1) + "pct",
+                     f.composite_seconds,
+                     {{"coverage", f.faults.coverage},
+                      {"substituted", double(f.faults.substituted_partners)},
+                      {"proxied", double(f.faults.proxied_messages)}});
+      }
     }
     table.print();
     std::puts("");

@@ -68,6 +68,14 @@ CompositeStats BinarySwapCompositor::run(
                        obs::Category::kComposite);
   if (tracer != nullptr) span.arg("rounds", double(rounds));
 
+  const machine::Partition& mpart = rt_->partition();
+  const fault::FaultPlan* plan = rt_->fault_plan();
+  fault::FaultStats* fstats = rt_->fault_stats();
+  const bool faulty = plan != nullptr && !plan->empty();
+  PVR_REQUIRE(!(faulty && execute),
+              "fault injection is model-mode only; clear the fault plan "
+              "before compositing real pixels");
+
   CompositeStats stats;
   stats.num_compositors = n;
 
@@ -84,6 +92,26 @@ CompositeStats BinarySwapCompositor::run(
   for (std::int64_t i = 0; i < n; ++i) pos[std::size_t(order[std::size_t(i)])] = i;
   const auto rank_at_pos = [&](std::int64_t p) { return order[std::size_t(p)]; };
 
+  // Fault recovery (model mode, paper-scale partner substitution): a dead
+  // rank's schedule role — receiving its partners' pieces, blending its
+  // kept region, carrying it into later rounds — is absorbed by a
+  // deterministic live proxy (next live rank in visibility-position order
+  // within the smallest exchange group that still has a live member). Its
+  // own pixel contribution is dropped and reported via coverage.
+  std::vector<std::int64_t> actor;  // position -> acting rank
+  if (faulty) {
+    const std::vector<int> round_sizes(std::size_t(rounds), 2);
+    actor = substitute_positions(order, round_sizes, *plan, mpart);
+    record_substitutions(order, actor, fstats, tracer);
+    fold_coverage(tally_block_pixels(blocks, width, height, *plan, mpart),
+                  fstats);
+    std::int64_t live = 0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      if (!plan->rank_failed(r, mpart)) ++live;
+    }
+    stats.num_compositors = live;
+  }
+
   // Per-rank state: current region, and (execute) a full-image buffer.
   std::vector<Rect> region(static_cast<std::size_t>(n), Rect{0, 0, width, height});
   std::vector<Image> buffers;
@@ -98,27 +126,50 @@ CompositeStats BinarySwapCompositor::run(
   }
 
   const auto& mcfg = rt_->partition().config();
+  std::vector<std::int64_t> blend_pixels(faulty ? std::size_t(n) : 0);
   for (int round = 0; round < rounds; ++round) {
     std::vector<runtime::Message> messages;
     messages.reserve(static_cast<std::size_t>(n));
     std::vector<Rect> kept(static_cast<std::size_t>(n));
     std::int64_t worst_blend = 0;
+    std::int64_t redirected = 0;  // messages whose original partner is dead
+    if (faulty) blend_pixels.assign(std::size_t(n), 0);
     for (std::int64_t r = 0; r < n; ++r) {
       const std::int64_t p = pos[std::size_t(r)];
-      const std::int64_t partner = rank_at_pos(p ^ (std::int64_t(1) << round));
+      const std::int64_t partner_pos = p ^ (std::int64_t(1) << round);
+      const std::int64_t partner = rank_at_pos(partner_pos);
       const auto [first, second] = split_rect(region[std::size_t(r)]);
       const bool keep_first = ((p >> round) & 1) == 0;
       const Rect keep = keep_first ? first : second;
       const Rect send = keep_first ? second : first;
       kept[std::size_t(r)] = keep;
-      worst_blend = std::max(worst_blend, keep.pixel_count());
+      if (faulty) {
+        // The blend of the kept region lands on whoever plays position p;
+        // a proxy absorbing several positions accumulates all their work.
+        blend_pixels[std::size_t(actor[std::size_t(p)])] +=
+            keep.pixel_count();
+      } else {
+        worst_blend = std::max(worst_blend, keep.pixel_count());
+      }
+      // Late rounds of small images can leave nothing to give away; an
+      // empty piece schedules no message (direct-send never schedules
+      // empty fragments either, so message counts stay comparable).
+      if (send.empty()) continue;
 
+      const std::int64_t src = faulty ? actor[std::size_t(p)] : r;
+      const std::int64_t dst =
+          faulty ? actor[std::size_t(partner_pos)] : partner;
+      if (src == dst) continue;  // proxy plays both roles: a local blend
+      if (faulty && (src != r || dst != partner)) {
+        if (fstats != nullptr) ++fstats->proxied_messages;
+        if (dst != partner) ++redirected;
+      }
       runtime::Message msg;
-      msg.src_rank = r;
-      msg.dst_rank = partner;
+      msg.src_rank = src;
+      msg.dst_rank = dst;
       msg.tag = round;
       msg.bytes = send.pixel_count() * config_.wire_bytes_per_pixel;
-      if (execute && !send.empty()) {
+      if (execute) {
         // Ship the pixels of the half we give away.
         const std::vector<Rgba> pixels =
             buffers[std::size_t(r)].extract(send);
@@ -131,6 +182,10 @@ CompositeStats BinarySwapCompositor::run(
       }
       stats.bytes += msg.bytes;
       messages.push_back(std::move(msg));
+    }
+    if (faulty) {
+      worst_blend =
+          *std::max_element(blend_pixels.begin(), blend_pixels.end());
     }
     stats.messages += std::int64_t(messages.size());
 
@@ -171,6 +226,23 @@ CompositeStats BinarySwapCompositor::run(
         rt_->exchange_messages(std::move(messages), consume, /*rounds=*/1,
                                runtime::Runtime::ConsumePolicy::kParallelRanks)
             .seconds;
+    if (faulty && redirected > 0) {
+      // A sender discovers a dead partner the hard way: max_retries failed
+      // attempts before re-addressing the piece to the proxy. Priced like
+      // the torus prices undeliverable sends.
+      const fault::FaultSpec& spec = plan->spec();
+      const double stall =
+          double(redirected) * spec.max_retries * spec.retry_timeout;
+      stats.exchange.seconds += stall;
+      stats.exchange.retry_seconds += stall;
+      if (fstats != nullptr) fstats->retries += redirected * spec.max_retries;
+      if (tracer != nullptr && stall > 0.0) {
+        obs::ScopedSpan retry_span(tracer, "fault.partner_discovery",
+                                   obs::Category::kFault);
+        retry_span.arg("redirected_messages", double(redirected));
+        tracer->advance(stall);
+      }
+    }
     const double round_blend = double(worst_blend) / mcfg.blends_per_second;
     if (tracer != nullptr) {
       obs::ScopedSpan blend_span(tracer, "composite.blend",

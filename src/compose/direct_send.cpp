@@ -116,6 +116,12 @@ CompositeStats DirectSendCompositor::run(
       }
       tile_owner[std::size_t(t)] = owner;
     }
+    // Reassignment can merge tiles onto one rank: report the number of
+    // ranks actually compositing, not the nominal tile count.
+    std::vector<std::int64_t> owners = tile_owner;
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+    stats.num_compositors = std::int64_t(owners.size());
   }
 
   // Per-compositor-rank blended pixels (for the blend-compute term); with
@@ -145,10 +151,8 @@ CompositeStats DirectSendCompositor::run(
     blend_pixels[std::size_t(msg.dst_rank)] += s.pixels();
     messages.push_back(std::move(msg));
   }
-  if (faulty && fstats != nullptr && scheduled_pixels > 0) {
-    fstats->coverage =
-        std::min(fstats->coverage,
-                 double(delivered_pixels) / double(scheduled_pixels));
+  if (faulty) {
+    fold_coverage(PixelTally{scheduled_pixels, delivered_pixels}, fstats);
   }
   stats.messages = std::int64_t(messages.size());
   for (const auto& msg : messages) stats.bytes += msg.bytes;

@@ -17,8 +17,13 @@
 namespace pvr::compose {
 
 struct CompositeConfig {
+  /// Exchange pattern. Pipelines dispatch on this; the compositor classes
+  /// themselves each implement one algorithm and ignore the field.
+  CompositeAlgorithm algorithm = CompositeAlgorithm::kDirectSend;
   CompositorPolicy policy = CompositorPolicy::kImproved;
   std::int64_t fixed_compositors = 0;  ///< used when policy == kFixed
+  /// Target radix for kRadixK (factored via RadixKCompositor::factor).
+  int radix = 8;
   /// Bytes per pixel on the wire. The studied renderer ships 8-bit RGBA
   /// (matching the paper's Fig 4 message sizes of 4 * pixels bytes); pixel
   /// payloads in execute mode stay float for accuracy.

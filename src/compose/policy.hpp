@@ -8,6 +8,15 @@
 
 namespace pvr::compose {
 
+/// Compositing exchange pattern. Direct-send is the paper's studied
+/// algorithm; binary swap and radix-k are the classic recursive schedules it
+/// is compared against (§III-B.3).
+enum class CompositeAlgorithm {
+  kDirectSend,  ///< renderer -> tile-owner fragments, one round
+  kBinarySwap,  ///< log2(n) pairwise halving rounds (n must be a power of 2)
+  kRadixK,      ///< mixed-radix rounds; generalizes binary swap
+};
+
 enum class CompositorPolicy {
   kOriginal,  ///< m = n (classic direct-send)
   kImproved,  ///< the paper's empirical schedule: m = n up to 1K, then 1K

@@ -96,6 +96,14 @@ CompositeStats RadixKCompositor::run(
                        obs::Category::kComposite);
   if (tracer != nullptr) span.arg("rounds", double(radices_.size()));
 
+  const machine::Partition& mpart = rt_->partition();
+  const fault::FaultPlan* plan = rt_->fault_plan();
+  fault::FaultStats* fstats = rt_->fault_stats();
+  const bool faulty = plan != nullptr && !plan->empty();
+  PVR_REQUIRE(!(faulty && execute),
+              "fault injection is model-mode only; clear the fault plan "
+              "before compositing real pixels");
+
   CompositeStats stats;
   stats.num_compositors = n;
 
@@ -113,6 +121,24 @@ CompositeStats RadixKCompositor::run(
     pos[std::size_t(order[std::size_t(i)])] = i;
   }
 
+  // Fault recovery (model mode): partner substitution, exactly as in
+  // binary swap — a deterministic live proxy absorbs each dead position's
+  // role (receives the group's pieces for it, performs its blends, carries
+  // its region through later rounds); the dead rank's own contribution is
+  // dropped and reported via coverage.
+  std::vector<std::int64_t> actor;  // position -> acting rank
+  if (faulty) {
+    actor = substitute_positions(order, radices_, *plan, mpart);
+    record_substitutions(order, actor, fstats, tracer);
+    fold_coverage(tally_block_pixels(blocks, width, height, *plan, mpart),
+                  fstats);
+    std::int64_t live = 0;
+    for (std::int64_t r = 0; r < n; ++r) {
+      if (!plan->rank_failed(r, mpart)) ++live;
+    }
+    stats.num_compositors = live;
+  }
+
   std::vector<Rect> region(static_cast<std::size_t>(n),
                            Rect{0, 0, width, height});
   std::vector<Image> buffers;
@@ -127,6 +153,7 @@ CompositeStats RadixKCompositor::run(
   }
 
   const auto& mcfg = rt_->partition().config();
+  std::vector<std::int64_t> blend_pixels(faulty ? std::size_t(n) : 0);
   std::int64_t stride = 1;
   for (const int k : radices_) {
     if (k == 1) continue;
@@ -134,24 +161,44 @@ CompositeStats RadixKCompositor::run(
     std::vector<runtime::Message> messages;
     messages.reserve(std::size_t(n) * std::size_t(k - 1));
     std::int64_t worst_blend = 0;
+    std::int64_t redirected = 0;  // messages whose original peer is dead
+    if (faulty) blend_pixels.assign(std::size_t(n), 0);
     for (std::int64_t r = 0; r < n; ++r) {
       const std::int64_t p = pos[std::size_t(r)];
       const int digit = int((p / stride) % k);
       const Rect cur = region[std::size_t(r)];
       kept[std::size_t(r)] = split_part(cur, k, digit);
-      worst_blend = std::max(
-          worst_blend, std::int64_t(k) * kept[std::size_t(r)].pixel_count());
+      const std::int64_t blend =
+          std::int64_t(k) * kept[std::size_t(r)].pixel_count();
+      if (faulty) {
+        // Position p's blends land on its actor; a proxy absorbing several
+        // positions accumulates all their work.
+        blend_pixels[std::size_t(actor[std::size_t(p)])] += blend;
+      } else {
+        worst_blend = std::max(worst_blend, blend);
+      }
       for (int j = 0; j < k; ++j) {
         if (j == digit) continue;
         const std::int64_t peer_pos = p + (j - digit) * stride;
         const std::int64_t peer = order[std::size_t(peer_pos)];
         const Rect piece = split_part(cur, k, j);
+        // Regions narrower than the radix split into some empty pieces in
+        // late rounds; an empty piece schedules no message (direct-send
+        // never schedules empty fragments either).
+        if (piece.empty()) continue;
+        const std::int64_t src = faulty ? actor[std::size_t(p)] : r;
+        const std::int64_t dst = faulty ? actor[std::size_t(peer_pos)] : peer;
+        if (src == dst) continue;  // proxy plays both roles: a local blend
+        if (faulty && (src != r || dst != peer)) {
+          if (fstats != nullptr) ++fstats->proxied_messages;
+          if (dst != peer) ++redirected;
+        }
         runtime::Message msg;
-        msg.src_rank = r;
-        msg.dst_rank = peer;
+        msg.src_rank = src;
+        msg.dst_rank = dst;
         msg.tag = int(stride);
         msg.bytes = piece.pixel_count() * config_.wire_bytes_per_pixel;
-        if (execute && !piece.empty()) {
+        if (execute) {
           const std::vector<Rgba> pixels =
               buffers[std::size_t(r)].extract(piece);
           PieceHeader hdr{piece, p};
@@ -163,6 +210,10 @@ CompositeStats RadixKCompositor::run(
         stats.bytes += msg.bytes;
         messages.push_back(std::move(msg));
       }
+    }
+    if (faulty) {
+      worst_blend =
+          *std::max_element(blend_pixels.begin(), blend_pixels.end());
     }
     stats.messages += std::int64_t(messages.size());
 
@@ -214,6 +265,23 @@ CompositeStats RadixKCompositor::run(
         rt_->exchange_messages(std::move(messages), consume, /*rounds=*/1,
                                runtime::Runtime::ConsumePolicy::kParallelRanks)
             .seconds;
+    if (faulty && redirected > 0) {
+      // A sender discovers a dead peer the hard way: max_retries failed
+      // attempts before re-addressing the piece to the proxy. Priced like
+      // the torus prices undeliverable sends.
+      const fault::FaultSpec& spec = plan->spec();
+      const double stall =
+          double(redirected) * spec.max_retries * spec.retry_timeout;
+      stats.exchange.seconds += stall;
+      stats.exchange.retry_seconds += stall;
+      if (fstats != nullptr) fstats->retries += redirected * spec.max_retries;
+      if (tracer != nullptr && stall > 0.0) {
+        obs::ScopedSpan retry_span(tracer, "fault.partner_discovery",
+                                   obs::Category::kFault);
+        retry_span.arg("redirected_messages", double(redirected));
+        tracer->advance(stall);
+      }
+    }
     const double round_blend = double(worst_blend) / mcfg.blends_per_second;
     if (tracer != nullptr) {
       obs::ScopedSpan blend_span(tracer, "composite.blend",

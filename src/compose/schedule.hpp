@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "compose/image_partition.hpp"
+#include "fault/fault_plan.hpp"
+#include "machine/partition.hpp"
+#include "obs/trace.hpp"
 #include "util/image.hpp"
 
 namespace pvr::compose {
@@ -39,5 +42,51 @@ std::vector<ScheduledMessage> build_direct_send_schedule(
 /// every pixel of every non-empty footprint appears in exactly one message.
 std::int64_t total_scheduled_pixels(
     std::span<const ScheduledMessage> schedule);
+
+// --- fault-path helpers shared by all three compositors ---
+
+/// Scheduled-vs-delivered pixel tally: the single coverage metric every
+/// compositor reports under fault injection.
+struct PixelTally {
+  std::int64_t scheduled = 0;  ///< pixels every renderer should contribute
+  std::int64_t delivered = 0;  ///< pixels live renderers actually contribute
+};
+
+/// Tally over block footprints (clipped to the image): every block's
+/// footprint is scheduled, blocks on live ranks are delivered. Because the
+/// direct-send schedule covers each footprint pixel exactly once, this
+/// equals direct-send's per-message tally — so binary swap and radix-k
+/// report the same coverage for the same dead-renderer set.
+PixelTally tally_block_pixels(std::span<const BlockScreenInfo> blocks,
+                              int width, int height,
+                              const fault::FaultPlan& plan,
+                              const machine::Partition& part);
+
+/// Folds delivered/scheduled into stats->coverage (min across phases, so a
+/// frame reports its worst phase). A scheduled count of zero leaves the
+/// coverage untouched: a pixel-free phase has nothing to lose. Null stats
+/// are a no-op.
+void fold_coverage(const PixelTally& tally, fault::FaultStats* stats);
+
+/// Partner substitution for recursive exchange schedules (binary swap,
+/// radix-k). `order` maps visibility position -> rank; `round_sizes` are
+/// the per-round exchange-group sizes (all 2 for binary swap, the radices
+/// for radix-k; their product must be order.size()). For each position held
+/// by a dead rank, the substituting actor is chosen group-scoped: the next
+/// live rank in visibility-position order (cyclic) within the smallest
+/// round-prefix group that still has a live member. Returns actor[pos], the
+/// rank playing each position's role — the position's own rank when live.
+/// Throws pvr::Error when every rank is dead. Pure function of
+/// (order, round_sizes, plan): bit-deterministic at any thread count.
+std::vector<std::int64_t> substitute_positions(
+    std::span<const std::int64_t> order, std::span<const int> round_sizes,
+    const fault::FaultPlan& plan, const machine::Partition& part);
+
+/// FaultStats + trace bookkeeping for a substitution: counts every proxied
+/// position into stats->substituted_partners and emits one
+/// fault.partner_substituted instant per absorbed position.
+void record_substitutions(std::span<const std::int64_t> order,
+                          std::span<const std::int64_t> actors,
+                          fault::FaultStats* stats, obs::Tracer* tracer);
 
 }  // namespace pvr::compose

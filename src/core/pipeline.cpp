@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/vec.hpp"
 
 namespace pvr::core {
 
@@ -34,6 +35,23 @@ void validate(const ExperimentConfig& config) {
     fail("ghost", config.ghost,
          "ghost layer count cannot be negative; use 0 to disable ghost "
          "loading");
+  }
+  if (config.composite.algorithm == compose::CompositeAlgorithm::kRadixK &&
+      config.composite.radix < 2) {
+    fail("composite.radix", config.composite.radix,
+         "radix-k compositing needs a target radix of at least 2");
+  }
+  if (config.composite.algorithm == compose::CompositeAlgorithm::kBinarySwap &&
+      !is_pow2(config.num_ranks)) {
+    fail("num_ranks", config.num_ranks,
+         "binary-swap compositing requires a power-of-two rank count; use "
+         "radix-k or direct-send otherwise");
+  }
+  if (config.composite.algorithm != compose::CompositeAlgorithm::kDirectSend &&
+      config.blocks_per_rank != 1) {
+    fail("blocks_per_rank", config.blocks_per_rank,
+         "binary swap and radix-k composite exactly one block per rank; use "
+         "direct-send for multi-block decompositions");
   }
   if (config.host_threads < 0 || config.host_threads > par::kMaxThreads) {
     fail("host_threads", config.host_threads,
@@ -181,6 +199,19 @@ compose::CompositeStats ParallelVolumeRenderer::model_radix_k(int radix) {
   return compositor.model(blocks, config_.image_width, config_.image_height);
 }
 
+compose::CompositeStats ParallelVolumeRenderer::model_composite_configured() {
+  switch (config_.composite.algorithm) {
+    case compose::CompositeAlgorithm::kBinarySwap:
+      return model_binary_swap();
+    case compose::CompositeAlgorithm::kRadixK:
+      return model_radix_k(config_.composite.radix);
+    case compose::CompositeAlgorithm::kDirectSend:
+      break;
+  }
+  return model_composite(config_.composite.policy,
+                         config_.composite.fixed_compositors);
+}
+
 FrameStats ParallelVolumeRenderer::model_frame() {
   FrameStats stats;
   obs::ScopedSpan frame(tracer_, "frame", obs::Category::kFrame);
@@ -204,8 +235,7 @@ FrameStats ParallelVolumeRenderer::model_frame() {
   {
     obs::ScopedSpan stage(tracer_, "stage.composite",
                           obs::Category::kComposite);
-    stats.composite = model_composite(config_.composite.policy,
-                                      config_.composite.fixed_compositors);
+    stats.composite = model_composite_configured();
     stats.composite_seconds = stats.composite.seconds;
   }
   if (tracer_ != nullptr) {
@@ -290,13 +320,13 @@ FrameStats ParallelVolumeRenderer::model_frame_with_faults(
     }
   }
 
-  // --- Stage 3: direct-send compositing reads the fault state from the
-  // runtime (tile reassignment, dropped fragments, coverage). ---
+  // --- Stage 3: the configured compositor reads the fault state from the
+  // runtime — direct-send reassigns dead tiles, binary swap and radix-k
+  // substitute live proxies for dead partners; all report coverage. ---
   {
     obs::ScopedSpan stage(tracer_, "stage.composite",
                           obs::Category::kComposite);
-    stats.composite = model_composite(config_.composite.policy,
-                                      config_.composite.fixed_compositors);
+    stats.composite = model_composite_configured();
     stats.composite_seconds = stats.composite.seconds;
   }
   if (tracer_ != nullptr) {
@@ -401,8 +431,7 @@ FrameStats ParallelVolumeRenderer::model_insitu_frame() {
   {
     obs::ScopedSpan stage(tracer_, "stage.composite",
                           obs::Category::kComposite);
-    stats.composite = model_composite(config_.composite.policy,
-                                      config_.composite.fixed_compositors);
+    stats.composite = model_composite_configured();
     stats.composite_seconds = stats.composite.seconds;
   }
   if (tracer_ != nullptr) {

@@ -157,11 +157,13 @@ class ParallelVolumeRenderer {
 
   /// Degraded-mode frame under an injected fault plan: dead ranks read and
   /// render nothing (their blocks are dropped and the frame's pixel
-  /// coverage falls below 100%), dead compositors' tiles are reassigned to
-  /// the next live rank, routes detour around failed links, and storage
-  /// failures are retried/failed-over — all priced into the stage times.
-  /// An empty plan returns exactly model_frame(). Deterministic for a
-  /// given plan.
+  /// coverage falls below 100%), routes detour around failed links, and
+  /// storage failures are retried/failed-over — all priced into the stage
+  /// times. The compositing stage honours config().composite.algorithm:
+  /// direct-send reassigns dead compositors' tiles to the next live rank;
+  /// binary swap and radix-k substitute a live proxy for each dead
+  /// exchange partner. An empty plan returns exactly model_frame().
+  /// Deterministic for a given plan.
   FrameStats model_frame_with_faults(const fault::FaultPlan& plan);
 
   /// In-situ frame: the data is already resident in the simulation's
@@ -192,6 +194,10 @@ class ParallelVolumeRenderer {
  private:
   runtime::Runtime& model_rt();
   runtime::Runtime& execute_rt();
+  /// The compositing stage as configured: dispatches on
+  /// config().composite.algorithm (direct-send, binary swap, or radix-k).
+  /// Used by every model-mode frame method, healthy or faulty.
+  compose::CompositeStats model_composite_configured();
   /// Shared execute-mode stages 2+3: render the bricks, composite, fill
   /// stats.render/composite; `out` receives the image if non-null.
   void execute_render_and_composite(std::span<Brick> bricks,

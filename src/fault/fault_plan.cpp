@@ -77,6 +77,15 @@ std::int64_t FaultPlan::next_live_rank(std::int64_t rank,
               "a failed node");
 }
 
+std::int64_t FaultPlan::first_live_rank(
+    std::span<const std::int64_t> candidates,
+    const machine::Partition& part) const {
+  for (const std::int64_t rank : candidates) {
+    if (!rank_failed(rank, part)) return rank;
+  }
+  return -1;
+}
+
 std::int64_t FaultPlan::next_live_ion(std::int64_t ion,
                                       std::int64_t num_ions) const {
   PVR_ASSERT(ion >= 0 && ion < num_ions);

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -61,6 +62,11 @@ struct FaultStats {
   std::int64_t reassigned_partitions = 0;  ///< compositor tiles reassigned
   std::int64_t reassigned_aggregators = 0; ///< I/O file domains reassigned
   std::int64_t dropped_blocks = 0;     ///< renderer blocks lost with owner
+  /// Dead exchange-group members whose schedule role a live proxy absorbed
+  /// (binary-swap / radix-k partner substitution).
+  std::int64_t substituted_partners = 0;
+  /// Messages re-addressed to a proxy or sent on a dead rank's behalf.
+  std::int64_t proxied_messages = 0;
   std::int64_t rerouted_clients = 0;   ///< I/O clients moved to sibling ION
   std::int64_t failover_extents = 0;   ///< stripe extents served by failover
   /// Fraction of scheduled composite pixels actually delivered; 1.0 when
@@ -122,6 +128,13 @@ class FaultPlan {
   /// every rank is dead — there is nothing left to recover onto.
   std::int64_t next_live_rank(std::int64_t rank,
                               const machine::Partition& part) const;
+  /// Group-scoped partner substitution: first live rank in `candidates`
+  /// (callers pass a dead rank's exchange group in preferred substitution
+  /// order, nearest member first), or -1 when every candidate is dead —
+  /// the caller then widens the group, and gives up only when even the
+  /// whole communicator is dead.
+  std::int64_t first_live_rank(std::span<const std::int64_t> candidates,
+                               const machine::Partition& part) const;
   /// First live ION at or after `ion` (cyclic); throws when all are dead.
   std::int64_t next_live_ion(std::int64_t ion, std::int64_t num_ions) const;
   /// First live server at or after `server` (cyclic); throws when all dead.

@@ -82,6 +82,9 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
     if (fault_plan_ != nullptr && !fault_plan_->empty()) {
       // Undeliverable messages (dead sender or receiver) never reach an
       // inbox; the torus exchange already charged the sender's retries.
+      // Compositors that recover by partner substitution re-address their
+      // messages to live proxies *before* submitting them, so substituted
+      // traffic passes this filter untouched.
       std::erase_if(messages, [&](const Message& m) {
         return rank_failed(m.src_rank) || rank_failed(m.dst_rank);
       });
@@ -89,7 +92,10 @@ net::ExchangeCost Runtime::exchange_messages(std::vector<Message> messages,
     std::stable_sort(messages.begin(), messages.end(), MessageOrder{});
     // Group the sorted inbox by destination rank. Groups are disjoint, and
     // the message order within each group is the deterministic sorted order
-    // regardless of the consume policy.
+    // regardless of the consume policy. A proxy standing in for several
+    // dead ranks simply sees one larger inbox here: grouping by dst_rank is
+    // already substitution-aware, and ties (same dst, src, tag) keep their
+    // serial production order via the stable sort.
     struct Group {
       std::size_t begin, count;
     };

@@ -82,6 +82,8 @@ void expect_same_fault_stats(const fault::FaultStats& a,
   EXPECT_EQ(a.dropped_blocks, b.dropped_blocks);
   EXPECT_EQ(a.rerouted_clients, b.rerouted_clients);
   EXPECT_EQ(a.failover_extents, b.failover_extents);
+  EXPECT_EQ(a.substituted_partners, b.substituted_partners);
+  EXPECT_EQ(a.proxied_messages, b.proxied_messages);
   EXPECT_EQ(a.coverage, b.coverage);
 }
 
