@@ -1,0 +1,162 @@
+// Checkpoint/restart study (beyond the paper): effective throughput of a
+// multi-frame run under a seeded fault timeline, as a function of the
+// checkpoint interval. Checkpoints are priced through the two-phase
+// collective writer; a fault arrival rolls the run back to the last
+// checkpoint and replays the lost frames. The sweep brute-forces the best
+// interval and compares it against the Young/Daly optimum
+// sqrt(2 * C * MTBF). Deterministic: one seed per row, identical output
+// on every run.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pvrbench;
+  using pvr::ckpt::CheckpointPolicy;
+  using pvr::core::RunStats;
+  using pvr::fault::FaultArrival;
+  using pvr::fault::FaultPlan;
+  using pvr::fault::FaultTimeline;
+  using pvr::fault::TimelineSpec;
+
+  bench_config_set("study", "checkpoint/restart over a fault timeline");
+  bench_config_set("size", "1120^3/1600^2, 512 procs, 48 frames");
+  bench_config_set("seed", "42");
+  bench_config_set("intervals", "none, 1, 2, 3, 4, 6, 8, 12, 16, 24 frames");
+  bench_config_set("mtbf_frames", "48, 16, 8");
+
+  const std::int64_t kFrames = 48;
+  const std::int64_t kIntervals[] = {0, 1, 2, 3, 4, 6, 8, 12, 16, 24};
+  ExperimentConfig cfg = paper_config(512, 1120, 1600);
+  ParallelVolumeRenderer renderer(cfg);
+  const double frame_s = renderer.model_frame().total_seconds();
+
+  // Price one checkpoint up front: interval 1 over two frames writes
+  // exactly one. Its write bandwidth is the satellite number the paper's
+  // storage sections report for output dumps.
+  CheckpointPolicy probe;
+  probe.interval_frames = 1;
+  const RunStats probe_run = renderer.model_run(2, FaultTimeline(), probe);
+  const double ckpt_s = probe_run.checkpoint_seconds;
+  const double ckpt_bw = probe_run.frames.front().write_bandwidth();
+
+  /// Write bandwidth of the first checkpointing frame of a run (0 when the
+  /// run never checkpoints).
+  const auto run_write_bw = [](const RunStats& run) {
+    for (const FrameStats& f : run.frames) {
+      if (f.write_seconds > 0.0) return f.write_bandwidth();
+    }
+    return 0.0;
+  };
+
+  std::printf("healthy frame %.2f s, checkpoint %.2f s (%.2f GB/s)\n\n",
+              frame_s, ckpt_s, ckpt_bw / 1e9);
+
+  // --- Sweep 1: checkpoint interval x MTBF, seeded arrival timelines. ---
+  for (const std::int64_t mtbf : {48, 16, 8}) {
+    pvr::TextTable table("Checkpoint C1 — interval sweep, MTBF " +
+                         std::to_string(mtbf) + " frames, 512 procs");
+    table.set_header({"interval", "faults", "ckpts", "restarts", "eff_fps",
+                      "ideal_fps", "overhead", "lost_s", "write_bw"});
+    TimelineSpec tspec;
+    tspec.seed = 42;
+    tspec.frame_fault_rate = 1.0 / double(mtbf);
+    tspec.arrival.node_fail_rate = 0.01;
+    tspec.arrival.server_fail_rate = 0.01;
+    const FaultTimeline timeline = FaultTimeline::generate(
+        renderer.partition(), cfg.storage, kFrames, tspec);
+    for (const std::int64_t k : kIntervals) {
+      CheckpointPolicy policy;
+      policy.interval_frames = k;
+      const RunStats run = renderer.model_run(kFrames, timeline, policy);
+      const double bw = run_write_bw(run);
+      table.add_row({k == 0 ? "none" : std::to_string(k),
+                     std::to_string(run.faults_struck),
+                     std::to_string(run.checkpoints_written),
+                     std::to_string(run.checkpoints_read),
+                     pvr::fmt_f(run.effective_fps(), 4),
+                     pvr::fmt_f(run.ideal_fps(), 4),
+                     pvr::fmt_f(run.overhead_fraction() * 100.0, 1) + "%",
+                     pvr::fmt_f(run.lost_work_seconds, 1),
+                     pvr::fmt_f(bw / 1e9, 2) + " GB/s"});
+      register_sim("checkpoint/mtbf/" + std::to_string(mtbf) + "/interval/" +
+                       std::to_string(k),
+                   run.total_seconds,
+                   {{"eff_fps", run.effective_fps()},
+                    {"ideal_fps", run.ideal_fps()},
+                    {"overhead", run.overhead_fraction()},
+                    {"checkpoints", double(run.checkpoints_written)},
+                    {"restarts", double(run.checkpoints_read)},
+                    {"lost_s", run.lost_work_seconds},
+                    {"write_bw", bw},
+                    {"min_coverage", run.min_coverage}});
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- Sweep 2: Young/Daly validation against a brute-force sweep. ---
+  // One arrival striking late in the run (frame 47) makes the trade-off
+  // exact: longer intervals save write time but replay more frames. The
+  // brute-force argmax of effective fps must land on (or next to) the
+  // analytic optimum sqrt(2 * C * MTBF).
+  {
+    FaultPlan plan;
+    plan.fail_node(1);
+    FaultTimeline timeline;
+    timeline.add(FaultArrival{/*frame=*/kFrames - 1, /*fraction=*/0.5, plan});
+
+    pvr::TextTable table(
+        "Checkpoint C2 — Young/Daly vs brute force, one fault at frame 47");
+    table.set_header({"interval", "eff_fps", "overhead", "yd_overhead"});
+    const double mtbf_s = double(kFrames) * frame_s;
+    std::int64_t best_k = 0;
+    double best_fps = 0.0;
+    for (const std::int64_t k : kIntervals) {
+      if (k == 0) continue;
+      CheckpointPolicy policy;
+      policy.interval_frames = k;
+      const RunStats run = renderer.model_run(kFrames, timeline, policy);
+      if (run.effective_fps() > best_fps) {
+        best_fps = run.effective_fps();
+        best_k = k;
+      }
+      const double yd =
+          pvr::ckpt::expected_overhead(double(k) * frame_s, ckpt_s, mtbf_s);
+      table.add_row({std::to_string(k), pvr::fmt_f(run.effective_fps(), 4),
+                     pvr::fmt_f(run.overhead_fraction() * 100.0, 1) + "%",
+                     pvr::fmt_f(yd * 100.0, 1) + "%"});
+      register_sim("checkpoint/single_fault/interval/" + std::to_string(k),
+                   run.total_seconds,
+                   {{"eff_fps", run.effective_fps()},
+                    {"ideal_fps", run.ideal_fps()},
+                    {"overhead", run.overhead_fraction()},
+                    {"checkpoints", double(run.checkpoints_written)},
+                    {"restarts", double(run.checkpoints_read)},
+                    {"lost_s", run.lost_work_seconds},
+                    {"write_bw", run_write_bw(run)},
+                    {"yd_overhead", yd}});
+    }
+    table.print();
+    const std::int64_t yd_k =
+        pvr::ckpt::optimal_interval_frames(ckpt_s, mtbf_s, frame_s);
+    std::printf(
+        "\nYoung/Daly optimum: T* = %.2f s = %lld frames; brute force best: "
+        "%lld frames\n\n",
+        pvr::ckpt::optimal_interval(ckpt_s, mtbf_s), (long long)yd_k,
+        (long long)best_k);
+    register_sim("checkpoint/youngdaly",
+                 pvr::ckpt::optimal_interval(ckpt_s, mtbf_s),
+                 {{"yd_interval_frames", double(yd_k)},
+                  {"best_measured_frames", double(best_k)},
+                  {"ckpt_s", ckpt_s},
+                  {"frame_s", frame_s},
+                  {"write_bw", ckpt_bw}});
+  }
+
+  std::puts(
+      "Checkpointing buys back lost work: past the Young/Daly optimum the\n"
+      "interval only adds replay time and effective throughput falls\n"
+      "monotonically. Identical seeds reproduce identical rows.\n");
+  return run_benchmarks(argc, argv);
+}

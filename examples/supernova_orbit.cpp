@@ -28,9 +28,26 @@ int main(int argc, char** argv) {
   const Box3d wb = render::world_box(desc.dims);
   const Vec3d center{wb.center().x, wb.center().y, wb.center().z};
 
+  // Checkpoint pricing for the orbit: after each frame the rank block state
+  // is written through the collective writer in model mode, the same path
+  // core::model_run prices between frames of a long run.
+  const machine::Partition partition(machine::MachineConfig{}, 27);
+  runtime::Runtime model_rt(partition, runtime::Mode::kModel);
+  storage::StorageModel storage_model(partition, machine::StorageConfig{});
+  ckpt::CheckpointCodec codec(model_rt, storage_model,
+                              iolib::Hints::untuned());
+  const format::VolumeLayout ckpt_layout(
+      ckpt::CheckpointCodec::state_desc(desc.dims));
+  render::Decomposition state_decomp(desc.dims, 27);
+  std::vector<iolib::RankBlock> state_blocks;
+  for (std::int64_t b = 0; b < state_decomp.num_blocks(); ++b) {
+    state_blocks.push_back(
+        iolib::RankBlock{b, state_decomp.block_box(b)});
+  }
+
   TextTable table("orbit frames — variable '" + variable + "'");
   table.set_header({"frame", "io_s", "render_s", "composite_s",
-                    "samples", "file"});
+                    "samples", "ckpt_bw", "file"});
   for (int f = 0; f < frames; ++f) {
     const double angle = 2.0 * 3.14159265358979 * f / frames;
     const Vec3d eye = center + Vec3d{1.8 * std::cos(angle), 0.9,
@@ -48,14 +65,18 @@ int main(int argc, char** argv) {
 
     core::ParallelVolumeRenderer renderer(cfg);
     Image out;
-    const core::FrameStats stats = renderer.execute_frame(path, &out);
+    core::FrameStats stats = renderer.execute_frame(path, &out);
+    const ckpt::CheckpointIo ck = codec.write(ckpt_layout, state_blocks, f);
+    stats.write_io = ck.io;
+    stats.write_seconds = ck.seconds;
     char name[64];
     std::snprintf(name, sizeof(name), "orbit_%02d.ppm", f);
     write_ppm(out, name);
     table.add_row({fmt_int(f), fmt_f(stats.io_seconds, 3),
                    fmt_f(stats.render_seconds, 3),
                    fmt_f(stats.composite_seconds, 3),
-                   fmt_int(stats.render.total_samples), name});
+                   fmt_int(stats.render.total_samples),
+                   fmt_f(stats.write_bandwidth() / 1e6, 1) + " MB/s", name});
   }
   table.print();
   return 0;

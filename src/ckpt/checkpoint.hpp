@@ -1,0 +1,128 @@
+// Checkpoint/restart of a multi-frame rendering run (DESIGN.md §6).
+//
+// A checkpoint persists every rank's block state (the loaded volume bricks —
+// the expensive thing to reconstruct after a failure) through the same
+// two-phase collective write the output path uses, then commits a small
+// metadata trailer and a barrier. The codec shares the model/execute duality
+// of the rest of the library: in model mode the write/read is priced
+// (storage batches, shuffle on the torus, commit barrier) and no bytes move;
+// in execute mode a real checkpoint file is produced, trailer-validated, and
+// round-trips bit-for-bit through CollectiveReader on restart.
+//
+// The interval question — checkpoint often and pay the write cost, or
+// rarely and pay lost work when a fault strikes — is the classic
+// Young/Daly trade-off; optimal_interval() implements the √(2·C·MTBF)
+// first-order optimum, which bench_checkpoint validates against a
+// brute-force interval sweep of core::ParallelVolumeRenderer::model_run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "format/file_io.hpp"
+#include "format/layout.hpp"
+#include "iolib/collective_write.hpp"
+#include "runtime/runtime.hpp"
+#include "storage/storage_model.hpp"
+#include "util/brick.hpp"
+
+namespace pvr::ckpt {
+
+/// When to checkpoint a multi-frame run, and what to persist.
+struct CheckpointPolicy {
+  /// Checkpoint after every `interval_frames` completed frames; 0 disables
+  /// checkpointing entirely (a fault then loses the whole run prefix).
+  std::int64_t interval_frames = 0;
+  /// Also persist the composited frame image with each checkpoint (RGBA
+  /// float pixels, priced into the trailer commit; a restart can then
+  /// resume an animation without re-rendering the checkpointed frame).
+  bool persist_image = false;
+
+  bool enabled() const { return interval_frames > 0; }
+};
+
+/// Outcome of one checkpoint write or restart read.
+struct CheckpointIo {
+  iolib::ReadResult io;       ///< the collective state write/read
+  double metadata_seconds = 0.0;  ///< trailer commit / validation + barrier
+  double seconds = 0.0;           ///< io.seconds + metadata_seconds
+  /// Frame recorded in (write) or recovered from (execute-mode read) the
+  /// trailer; -1 on a model-mode read, where no trailer bytes exist.
+  std::int64_t frame_index = -1;
+  std::int64_t bytes = 0;  ///< payload: state + trailer + optional image
+};
+
+/// Collective checkpoint writer/reader over the iolib two-phase engine.
+class CheckpointCodec {
+ public:
+  CheckpointCodec(runtime::Runtime& rt, const storage::StorageModel& sm,
+                  const iolib::Hints& hints)
+      : rt_(&rt), storage_(&sm), hints_(hints) {}
+
+  /// Layout of the checkpoint state file: one raw float variable ("state")
+  /// on the run's grid — blocks map to the same byte ranges as a raw
+  /// dataset, so the collective engine needs no checkpoint-specific path.
+  static format::DatasetDesc state_desc(const Vec3i& dims);
+
+  /// Trailer appended after the state payload: magic "PVRCKPT1" (8 bytes)
+  /// then frame_index, state_bytes, image_bytes as native-endian int64
+  /// (checkpoints are scratch files consumed by the machine that wrote
+  /// them, so no byte-order conversion is done).
+  static constexpr std::int64_t kTrailerBytes = 32;
+
+  /// Writes a checkpoint of the listed (non-ghosted) blocks taken after
+  /// frame `frame_index`. `image_bytes` is the persisted image payload
+  /// (0 when CheckpointPolicy::persist_image is off). In execute mode pass
+  /// the real `file` and one source brick per block; the state is written
+  /// collectively, then the trailer (and zero-filled image placeholder)
+  /// behind it. Emits a "ckpt.write" span and advances the simulated clock
+  /// by the write, trailer commit, and commit barrier.
+  CheckpointIo write(const format::VolumeLayout& layout,
+                     std::span<const iolib::RankBlock> blocks,
+                     std::int64_t frame_index, std::int64_t image_bytes = 0,
+                     format::FileHandle* file = nullptr,
+                     std::span<const Brick> bricks = {});
+
+  /// Restart read: the mirror of write. In execute mode the trailer is
+  /// validated first (throws pvr::Error on a missing/foreign trailer or a
+  /// state size that does not match `layout`), then bricks are filled
+  /// collectively and frame_index is recovered. In model mode no trailer
+  /// bytes exist, so pass `image_bytes` matching the write to price the
+  /// same trailer access (execute mode overrides it from the trailer).
+  /// Emits a "ckpt.read" span.
+  CheckpointIo read(const format::VolumeLayout& layout,
+                    std::span<const iolib::RankBlock> blocks,
+                    format::FileHandle* file = nullptr,
+                    std::span<Brick> bricks = {},
+                    std::int64_t image_bytes = 0);
+
+ private:
+  /// Prices the trailer (+ optional image) access as one physical access at
+  /// the end of the state payload and advances the tracer.
+  double metadata_cost(const format::VolumeLayout& layout,
+                       std::int64_t image_bytes);
+
+  runtime::Runtime* rt_;
+  const storage::StorageModel* storage_;
+  iolib::Hints hints_;
+};
+
+/// Young/Daly first-order optimal checkpoint interval √(2·C·MTBF), in
+/// seconds of useful work between checkpoints, for a checkpoint cost of
+/// `checkpoint_seconds` and a mean time between failures of `mtbf_seconds`.
+double optimal_interval(double checkpoint_seconds, double mtbf_seconds);
+
+/// The same optimum quantized to whole frames of `frame_seconds` each
+/// (rounded, clamped to at least 1 frame).
+std::int64_t optimal_interval_frames(double checkpoint_seconds,
+                                     double mtbf_seconds,
+                                     double frame_seconds);
+
+/// First-order expected overhead fraction of checkpointing every
+/// `interval_seconds`: C/interval (writes) + interval/(2·MTBF) (expected
+/// lost work per failure, amortized). Minimized at optimal_interval();
+/// bench_checkpoint sweeps this against the measured model_run overhead.
+double expected_overhead(double interval_seconds, double checkpoint_seconds,
+                         double mtbf_seconds);
+
+}  // namespace pvr::ckpt

@@ -302,15 +302,16 @@ FrameStats ParallelVolumeRenderer::model_frame_with_faults(
     stats.io_seconds = stats.io.seconds;
   }
 
-  // --- Stage 2: dead ranks render nothing; straggler is the worst live
-  // rank. ---
+  // --- Stage 2: dead ranks render nothing; degraded-but-alive ranks render
+  // slower; the straggler is the worst weighted live rank. ---
   {
     obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
     const render::RenderModel rmodel(config_.machine);
-    stats.render = rmodel.estimate(
+    stats.render = rmodel.estimate_degraded(
         *decomp_, config_.num_ranks, camera_, config_.render,
         [&](std::int64_t rank) {
-          return !plan.rank_failed(rank, *partition_);
+          if (plan.rank_failed(rank, *partition_)) return 0.0;
+          return plan.rank_degrade(rank, *partition_);
         });
     stats.render_seconds = stats.render.seconds;
     if (tracer_ != nullptr) {
@@ -336,6 +337,109 @@ FrameStats ParallelVolumeRenderer::model_frame_with_faults(
     stats.trace = obs::summarize_frame(*tracer_, frame.close());
   }
   return stats;
+}
+
+RunStats ParallelVolumeRenderer::model_run(
+    std::int64_t n_frames, const fault::FaultTimeline& timeline,
+    const ckpt::CheckpointPolicy& policy) {
+  PVR_REQUIRE(n_frames >= 0, "n_frames cannot be negative");
+  RunStats run;
+  if (n_frames == 0) return run;
+
+  // Healthy reference frame: the unit of ideal time and of lost work.
+  // Priced with the tracer detached so the run's trace holds only events
+  // that actually happen; determinism makes it bit-identical to any healthy
+  // frame of the loop below.
+  obs::Tracer* const tracer = tracer_;
+  set_tracer(nullptr);
+  const FrameStats healthy = model_frame();
+  set_tracer(tracer);
+  const double healthy_seconds = healthy.total_seconds();
+  run.ideal_seconds = double(n_frames) * healthy_seconds;
+
+  // Checkpoint state: every rank's owned (non-ghosted) blocks, laid out as
+  // one raw variable on the run's grid.
+  ckpt::CheckpointCodec codec(model_rt(), *storage_, config_.hints);
+  std::unique_ptr<format::VolumeLayout> ckpt_layout;
+  std::vector<iolib::RankBlock> state_blocks;
+  std::int64_t image_bytes = 0;
+  if (policy.enabled()) {
+    ckpt_layout = std::make_unique<format::VolumeLayout>(
+        ckpt::CheckpointCodec::state_desc(config_.dataset.dims));
+    state_blocks.reserve(std::size_t(decomp_->num_blocks()));
+    for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
+      state_blocks.push_back(iolib::RankBlock{
+          render::Decomposition::rank_of_block(b, config_.num_ranks),
+          decomp_->block_box(b)});
+    }
+    if (policy.persist_image) {
+      // RGBA float pixels, 16 bytes each.
+      image_bytes = std::int64_t(config_.image_width) *
+                    std::int64_t(config_.image_height) * 16;
+    }
+  }
+
+  std::int64_t last_ckpt_frame = -1;  // nothing persisted yet
+  for (std::int64_t f = 0; f < n_frames; ++f) {
+    const fault::FaultArrival* arrival = timeline.arrival_at(f);
+    if (arrival != nullptr) {
+      ++run.faults_struck;
+      // Young/Daly lost work: the stricken fraction of this frame plus
+      // every frame completed since the last checkpoint, all redone.
+      const std::int64_t replayed = f - (last_ckpt_frame + 1);
+      const double lost =
+          (arrival->fraction + double(replayed)) * healthy_seconds;
+      run.lost_work_seconds += lost;
+      if (tracer_ != nullptr) {
+        tracer_->instant("fault.arrival", obs::Category::kFault,
+                         {{"frame", double(f)},
+                          {"fraction", arrival->fraction},
+                          {"replayed_frames", double(replayed)}});
+        obs::ScopedSpan span(tracer_, "ckpt.lost_work",
+                             obs::Category::kCheckpoint);
+        span.arg("seconds", lost);
+        tracer_->advance(lost);
+      }
+      if (last_ckpt_frame >= 0) {
+        // Rollback: reload the surviving block state from the last
+        // checkpoint before re-rendering under the arrival's plan.
+        const ckpt::CheckpointIo restart =
+            codec.read(*ckpt_layout, state_blocks, nullptr, {}, image_bytes);
+        ++run.checkpoints_read;
+        run.checkpoint_seconds += restart.seconds;
+      }
+    }
+
+    FrameStats stats;
+    if (arrival != nullptr) {
+      stats = model_frame_with_faults(arrival->plan);
+    } else if (tracer_ == nullptr) {
+      stats = healthy;  // bit-identical to model_frame() by determinism
+    } else {
+      stats = model_frame();  // traced frames must emit their own spans
+    }
+
+    // Checkpoint after the frame per policy; the final frame never
+    // checkpoints (there is nothing after it left to protect).
+    if (policy.enabled() && (f + 1) % policy.interval_frames == 0 &&
+        f + 1 < n_frames) {
+      const ckpt::CheckpointIo ck =
+          codec.write(*ckpt_layout, state_blocks, f, image_bytes);
+      stats.write_io = ck.io;
+      stats.write_seconds = ck.seconds;
+      ++run.checkpoints_written;
+      run.checkpoint_seconds += ck.seconds;
+      last_ckpt_frame = f;
+    }
+
+    run.frame_seconds += stats.total_seconds();
+    run.min_coverage = std::min(run.min_coverage, stats.faults.coverage);
+    run.frames.push_back(std::move(stats));
+    ++run.frames_completed;
+  }
+  run.total_seconds =
+      run.frame_seconds + run.checkpoint_seconds + run.lost_work_seconds;
+  return run;
 }
 
 void ParallelVolumeRenderer::execute_render_and_composite(

@@ -26,11 +26,13 @@
 #include <optional>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
 #include "compose/binary_swap.hpp"
 #include "compose/direct_send.hpp"
 #include "compose/radix_k.hpp"
 #include "data/synthetic.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/fault_timeline.hpp"
 #include "format/layout.hpp"
 #include "iolib/collective_read.hpp"
 #include "iolib/independent_read.hpp"
@@ -81,6 +83,13 @@ struct FrameStats {
   render::RenderEstimate render;
   compose::CompositeStats composite;
 
+  /// Write issued after the frame (a checkpoint in model_run, an output
+  /// dump in the examples); all-zero when the frame wrote nothing. Not part
+  /// of total_seconds(): writes overlap the pipeline cadence question and
+  /// are accounted separately (RunStats::checkpoint_seconds).
+  iolib::ReadResult write_io;
+  double write_seconds = 0.0;
+
   /// Fault census + recovery counters; all-zero (coverage 1.0) for healthy
   /// frames. Filled by model_frame_with_faults.
   fault::FaultStats faults;
@@ -112,6 +121,52 @@ struct FrameStats {
   /// Read bandwidth in the paper's terms: useful bytes / I/O time.
   double read_bandwidth() const {
     return io_seconds > 0.0 ? double(io.useful_bytes) / io_seconds : 0.0;
+  }
+  /// Write bandwidth of the frame's post-frame write (checkpoint/output):
+  /// useful bytes written / write time; 0 when the frame wrote nothing.
+  double write_bandwidth() const {
+    return write_seconds > 0.0 ? double(write_io.useful_bytes) / write_seconds
+                               : 0.0;
+  }
+};
+
+/// Accounting of one multi-frame model_run: where the run's time went —
+/// useful frames, checkpoint writes, restart reads, and work lost to fault
+/// arrivals — and the throughput that bottom line buys relative to a
+/// failure-free, checkpoint-free ideal.
+struct RunStats {
+  std::vector<FrameStats> frames;  ///< one entry per frame, in frame order
+  std::int64_t frames_completed = 0;
+  std::int64_t faults_struck = 0;       ///< timeline arrivals that fired
+  std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoints_read = 0;    ///< restarts (rollback loads)
+
+  double frame_seconds = 0.0;       ///< sum of per-frame stage time
+  double checkpoint_seconds = 0.0;  ///< checkpoint writes + restart reads
+  /// Work redone because of fault arrivals: the stricken fraction of each
+  /// failed frame plus every completed-but-unpersisted frame since the
+  /// last checkpoint, at the healthy frame price.
+  double lost_work_seconds = 0.0;
+  double total_seconds = 0.0;  ///< frames + checkpoints + lost work
+  /// The same run with no faults and no checkpoints: n_frames healthy
+  /// frames back to back.
+  double ideal_seconds = 0.0;
+  double min_coverage = 1.0;  ///< worst per-frame pixel coverage in the run
+
+  /// Delivered frames per simulated second, checkpoint and fault overheads
+  /// included. Always <= ideal_fps().
+  double effective_fps() const {
+    return total_seconds > 0.0 ? double(frames_completed) / total_seconds
+                               : 0.0;
+  }
+  double ideal_fps() const {
+    return ideal_seconds > 0.0 ? double(frames_completed) / ideal_seconds
+                               : 0.0;
+  }
+  /// Fractional slowdown versus the ideal run (the quantity Young/Daly
+  /// minimizes): 0 when nothing was lost or checkpointed.
+  double overhead_fraction() const {
+    return ideal_seconds > 0.0 ? total_seconds / ideal_seconds - 1.0 : 0.0;
   }
 };
 
@@ -171,6 +226,23 @@ class ParallelVolumeRenderer {
   /// motivates ("eliminate or reduce expensive storage accesses, because
   /// ... I/O dominates large-scale visualization").
   FrameStats model_insitu_frame();
+
+  /// Multi-frame run under a fault timeline with checkpoint/restart
+  /// (DESIGN.md §6). Renders `n_frames` frames in order; after every
+  /// `policy.interval_frames` completed frames (never after the last) the
+  /// rank block state is checkpointed through the collective write path and
+  /// priced into the frame's write_io/write_seconds. When a timeline
+  /// arrival strikes frame f, the run pays the lost work (the stricken
+  /// fraction of f plus every completed-but-unpersisted frame since the
+  /// last checkpoint), re-reads the last checkpoint if one exists, and
+  /// renders frame f under the arrival's fault plan (degraded coverage,
+  /// recovery costs — exactly model_frame_with_faults). With an empty
+  /// timeline and a disabled policy the per-frame stats are byte-identical
+  /// to n_frames calls of model_frame(). Deterministic for a given
+  /// (timeline, policy), including across host_threads settings.
+  RunStats model_run(std::int64_t n_frames,
+                     const fault::FaultTimeline& timeline = {},
+                     const ckpt::CheckpointPolicy& policy = {});
 
   // --- execute mode (small scale, real data) ---
   /// Runs the full pipeline against a real dataset file. If `out` is

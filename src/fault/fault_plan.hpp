@@ -38,6 +38,11 @@ struct FaultSpec {
   double server_degrade_rate = 0.0;  ///< fraction of servers degraded
   /// Streaming-bandwidth divisor on a degraded server (RAID rebuild).
   double server_degrade_factor = 4.0;
+  /// Fraction of compute nodes degraded-but-alive (thermal throttling,
+  /// ECC scrubbing): their ranks render every sample `compute_degrade_factor`
+  /// times slower, inflating the BSP render straggler term.
+  double compute_degrade_rate = 0.0;
+  double compute_degrade_factor = 2.0;  ///< sample-rate divisor when degraded
   /// Send attempts before a message to a dead rank is declared
   /// undeliverable; each attempt costs `retry_timeout` at the sender.
   int max_retries = 3;
@@ -53,6 +58,7 @@ struct FaultStats {
   std::int64_t failed_ions = 0;
   std::int64_t failed_servers = 0;
   std::int64_t degraded_servers = 0;
+  std::int64_t degraded_nodes = 0;  ///< degraded-but-alive compute nodes
 
   // --- recovery work ---
   std::int64_t undeliverable_messages = 0;  ///< sends to/from dead ranks
@@ -97,11 +103,14 @@ class FaultPlan {
   void degrade_server(int server, double factor) {
     degraded_[server] = factor;
   }
+  void degrade_node(std::int64_t node, double factor) {
+    degraded_nodes_[node] = factor;
+  }
 
   // --- queries ---
   bool empty() const {
     return nodes_.empty() && links_.empty() && ions_.empty() &&
-           servers_.empty() && degraded_.empty();
+           servers_.empty() && degraded_.empty() && degraded_nodes_.empty();
   }
   bool node_failed(std::int64_t node) const { return nodes_.count(node) > 0; }
   /// Explicit link faults only; callers combine with node_failed on the
@@ -116,11 +125,21 @@ class FaultPlan {
     const auto it = degraded_.find(server);
     return it == degraded_.end() ? 1.0 : it->second;
   }
+  /// Per-sample render slowdown of a compute node; 1.0 when healthy.
+  double node_degrade(std::int64_t node) const {
+    const auto it = degraded_nodes_.find(node);
+    return it == degraded_nodes_.end() ? 1.0 : it->second;
+  }
 
   /// A rank is failed when its hosting node is.
   bool rank_failed(std::int64_t rank,
                    const machine::Partition& part) const {
     return node_failed(part.node_of_rank(rank));
+  }
+  /// A rank renders at its hosting node's degraded sample rate.
+  double rank_degrade(std::int64_t rank,
+                      const machine::Partition& part) const {
+    return node_degrade(part.node_of_rank(rank));
   }
 
   // --- deterministic failover targets ---
@@ -156,6 +175,7 @@ class FaultPlan {
   std::unordered_set<std::int64_t> ions_;
   std::unordered_set<int> servers_;
   std::unordered_map<int, double> degraded_;
+  std::unordered_map<std::int64_t, double> degraded_nodes_;
 };
 
 }  // namespace pvr::fault

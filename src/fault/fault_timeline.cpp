@@ -1,0 +1,60 @@
+#include "fault/fault_timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pvr::fault {
+
+FaultTimeline FaultTimeline::generate(const machine::Partition& partition,
+                                      const machine::StorageConfig& storage,
+                                      std::int64_t n_frames,
+                                      const TimelineSpec& spec) {
+  PVR_REQUIRE(n_frames >= 0, "n_frames cannot be negative");
+  PVR_REQUIRE(spec.frame_fault_rate >= 0.0 && spec.frame_fault_rate < 1.0,
+              "frame_fault_rate must be in [0, 1)");
+
+  FaultTimeline timeline;
+  timeline.spec_ = spec;
+  Rng rng(spec.seed);
+  for (std::int64_t f = 0; f < n_frames; ++f) {
+    // Every frame consumes exactly three draws, struck or not, so arrivals
+    // at later frames do not depend on earlier arrival outcomes.
+    const double u = rng.next_double();
+    const double fraction = rng.next_double();
+    const std::uint64_t arrival_seed = rng.next_u64();
+    if (u >= spec.frame_fault_rate) continue;
+    FaultSpec damage = spec.arrival;
+    damage.seed = arrival_seed;
+    FaultArrival arrival;
+    arrival.frame = f;
+    arrival.fraction = fraction;
+    arrival.plan = FaultPlan::generate(partition, storage, damage);
+    timeline.arrivals_.push_back(std::move(arrival));
+  }
+  return timeline;
+}
+
+void FaultTimeline::add(FaultArrival arrival) {
+  PVR_REQUIRE(arrival.frame >= 0, "arrival frame cannot be negative");
+  PVR_REQUIRE(arrival.fraction >= 0.0 && arrival.fraction < 1.0,
+              "arrival fraction must be in [0, 1)");
+  const auto pos = std::lower_bound(
+      arrivals_.begin(), arrivals_.end(), arrival.frame,
+      [](const FaultArrival& a, std::int64_t frame) { return a.frame < frame; });
+  if (pos != arrivals_.end() && pos->frame == arrival.frame) {
+    throw Error("FaultTimeline already has an arrival at frame " +
+                std::to_string(arrival.frame));
+  }
+  arrivals_.insert(pos, std::move(arrival));
+}
+
+const FaultArrival* FaultTimeline::arrival_at(std::int64_t frame) const {
+  const auto pos = std::lower_bound(
+      arrivals_.begin(), arrivals_.end(), frame,
+      [](const FaultArrival& a, std::int64_t f) { return a.frame < f; });
+  return pos != arrivals_.end() && pos->frame == frame ? &*pos : nullptr;
+}
+
+}  // namespace pvr::fault

@@ -1,0 +1,86 @@
+// Multi-frame fault schedule: when, across an N-frame animation run, does
+// a failure strike, and what exactly breaks when it does.
+//
+// A FaultTimeline generalizes the one-shot per-frame FaultPlan to the
+// paper's real workload — a long run over time-varying supernova timesteps
+// — where the interesting quantity is no longer one frame's overhead but
+// the *lost work* a mid-run failure causes. Each arrival carries the frame
+// index it strikes in, how far into that frame it strikes (the fraction of
+// the frame's work that is wasted), and a FaultPlan delta describing the
+// components that are broken while the stricken frame is recovered.
+//
+// Timelines are either built explicitly (tests, what-if studies) or drawn
+// from a seeded per-frame arrival rate; like FaultPlan, the same spec and
+// seed always produce the same timeline, so multi-frame runs stay
+// bit-identical across hosts and thread counts. Per-frame draws are
+// independent of earlier outcomes (every frame consumes a fixed number of
+// RNG draws), so prefix timelines of the same seed agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace pvr::fault {
+
+/// Arrival process and per-arrival damage used by FaultTimeline::generate.
+struct TimelineSpec {
+  std::uint64_t seed = 1;         ///< generator seed; same seed, same timeline
+  /// Probability that a fault arrival strikes any given frame (a discrete
+  /// MTBF of 1 / rate frames).
+  double frame_fault_rate = 0.0;
+  /// What breaks when an arrival strikes: per-component rates drawn once
+  /// per arrival (its `seed` field is ignored — arrival seeds are derived
+  /// deterministically from the timeline seed).
+  FaultSpec arrival;
+};
+
+/// One fault arrival on the run timeline.
+struct FaultArrival {
+  std::int64_t frame = 0;  ///< frame index the fault strikes in
+  /// How far into the frame the failure hits, in [0, 1): that fraction of
+  /// the frame's work is wasted on top of the rollback.
+  double fraction = 0.5;
+  FaultPlan plan;          ///< what is broken while the frame is recovered
+};
+
+class FaultTimeline {
+ public:
+  /// An empty timeline: the run is failure-free.
+  FaultTimeline() = default;
+
+  /// Draws a timeline for an `n_frames` run from the spec's arrival rate,
+  /// deterministically from spec.seed. Each frame consumes a fixed number
+  /// of draws whether or not an arrival strikes it, so timelines of the
+  /// same seed agree on their common prefix of frames.
+  static FaultTimeline generate(const machine::Partition& partition,
+                                const machine::StorageConfig& storage,
+                                std::int64_t n_frames,
+                                const TimelineSpec& spec);
+
+  /// Explicit injection; arrivals are kept sorted by frame and at most one
+  /// arrival may strike a frame (throws pvr::Error on a duplicate).
+  void add(FaultArrival arrival);
+
+  bool empty() const { return arrivals_.empty(); }
+  std::int64_t num_arrivals() const {
+    return std::int64_t(arrivals_.size());
+  }
+  /// The arrival striking `frame`, or nullptr when the frame is healthy.
+  const FaultArrival* arrival_at(std::int64_t frame) const;
+  const std::vector<FaultArrival>& arrivals() const { return arrivals_; }
+
+  /// Mean frames between arrivals implied by the generating spec (1/rate);
+  /// 0 for explicit or empty-spec timelines, where no rate is known.
+  double mtbf_frames() const {
+    return spec_.frame_fault_rate > 0.0 ? 1.0 / spec_.frame_fault_rate : 0.0;
+  }
+  const TimelineSpec& spec() const { return spec_; }
+
+ private:
+  TimelineSpec spec_;
+  std::vector<FaultArrival> arrivals_;  ///< sorted by frame, unique frames
+};
+
+}  // namespace pvr::fault

@@ -15,6 +15,7 @@ const char* to_string(Category cat) {
     case Category::kStorage: return "storage";
     case Category::kCompute: return "compute";
     case Category::kFault: return "fault";
+    case Category::kCheckpoint: return "ckpt";
     case Category::kOther: return "other";
   }
   return "other";

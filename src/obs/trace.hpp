@@ -41,6 +41,7 @@ enum class Category {
   kStorage,     ///< one physical storage batch
   kCompute,     ///< a superstep compute phase (incl. blending)
   kFault,       ///< fault census / recovery actions
+  kCheckpoint,  ///< checkpoint write / restart read / rollback phases
   kOther,
 };
 

@@ -7,13 +7,15 @@
 //   pvr::format    — raw, netCDF classic (CDF-1/2/5), SHDF layouts & codecs
 //   pvr::data      — synthetic supernova data, writers, upsampling
 //   pvr::storage   — parallel file system model, access logs
-//   pvr::fault     — deterministic fault injection and recovery stats
+//   pvr::ckpt      — checkpoint/restart codec and Young/Daly intervals
+//   pvr::fault     — deterministic fault injection, plans and timelines
 //   pvr::obs       — simulated-clock tracing, metrics, trace/metric export
 //   pvr::runtime   — superstep rank runtime (execute & model modes)
 //   pvr::net       — torus and tree network models
 //   pvr::machine   — Blue Gene/P machine description and partitions
 #pragma once
 
+#include "ckpt/checkpoint.hpp"
 #include "compose/binary_swap.hpp"
 #include "compose/direct_send.hpp"
 #include "compose/image_partition.hpp"
@@ -25,6 +27,7 @@
 #include "data/upsample.hpp"
 #include "data/writers.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/fault_timeline.hpp"
 #include "format/dataset.hpp"
 #include "format/extent.hpp"
 #include "format/file_io.hpp"

@@ -46,6 +46,20 @@ RenderEstimate RenderModel::estimate(
     const Decomposition& decomp, std::int64_t num_ranks,
     const Camera& camera, const RenderConfig& config,
     const std::function<bool(std::int64_t)>& rank_alive) const {
+  if (rank_alive == nullptr) {
+    return estimate_degraded(decomp, num_ranks, camera, config, nullptr);
+  }
+  return estimate_degraded(
+      decomp, num_ranks, camera, config,
+      [&rank_alive](std::int64_t rank) {
+        return rank_alive(rank) ? 1.0 : 0.0;
+      });
+}
+
+RenderEstimate RenderModel::estimate_degraded(
+    const Decomposition& decomp, std::int64_t num_ranks,
+    const Camera& camera, const RenderConfig& config,
+    const std::function<double(std::int64_t)>& rank_slowdown) const {
   PVR_REQUIRE(num_ranks > 0, "need at least one rank");
   const double step_world =
       config.step_voxels * voxel_size(decomp.dims());
@@ -53,15 +67,25 @@ RenderEstimate RenderModel::estimate(
   RenderEstimate est;
   for (std::int64_t b = 0; b < decomp.num_blocks(); ++b) {
     const std::int64_t rank = Decomposition::rank_of_block(b, num_ranks);
-    if (rank_alive != nullptr && !rank_alive(rank)) continue;
+    if (rank_slowdown != nullptr && !(rank_slowdown(rank) > 0.0)) continue;
     const Box3d wb = world_box_of(decomp.block_box(b), decomp.dims());
     const std::int64_t s = block_samples(wb, camera, step_world);
     est.total_samples += s;
     rank_samples[std::size_t(rank)] += s;
   }
-  est.max_rank_samples =
-      *std::max_element(rank_samples.begin(), rank_samples.end());
-  est.seconds = seconds_for_samples(est.max_rank_samples) *
+  // max_rank_samples stays the raw straggler count; the *time* straggler
+  // weights each rank by its slowdown, so a degraded-but-alive node can set
+  // the phase time even without owning the most samples.
+  double worst_weighted = 0.0;
+  for (std::size_t r = 0; r < rank_samples.size(); ++r) {
+    est.max_rank_samples = std::max(est.max_rank_samples, rank_samples[r]);
+    const double slowdown =
+        rank_slowdown == nullptr ? 1.0 : rank_slowdown(std::int64_t(r));
+    if (!(slowdown > 0.0)) continue;  // dead ranks are not stragglers
+    worst_weighted =
+        std::max(worst_weighted, double(rank_samples[r]) * slowdown);
+  }
+  est.seconds = worst_weighted / cfg_->samples_per_second *
                 (1.0 + cfg_->render_imbalance);
   return est;
 }

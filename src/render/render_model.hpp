@@ -54,6 +54,19 @@ class RenderModel {
       const Camera& camera, const RenderConfig& config,
       const std::function<bool(std::int64_t rank)>& rank_alive) const;
 
+  /// Weighted degraded estimate: `rank_slowdown` returns a per-sample time
+  /// multiplier for each rank — 1.0 healthy, > 1.0 degraded-but-alive
+  /// (thermal throttling), <= 0.0 dead (the rank's blocks are dropped).
+  /// The straggler term is the worst rank's *weighted* time, so one slow
+  /// node stretches the whole BSP render phase. With a null function, or
+  /// one that always returns 1.0, this reproduces the healthy estimate
+  /// bit for bit (sample counts stay integer; weighting by exactly 1.0 is
+  /// exact in double precision).
+  RenderEstimate estimate_degraded(
+      const Decomposition& decomp, std::int64_t num_ranks,
+      const Camera& camera, const RenderConfig& config,
+      const std::function<double(std::int64_t rank)>& rank_slowdown) const;
+
   /// Converts a per-rank sample count to seconds (without imbalance).
   double seconds_for_samples(std::int64_t samples) const {
     return double(samples) / cfg_->samples_per_second;

@@ -225,6 +225,46 @@ TEST(CollectiveWriteTest, RecordFormatCostsRmwContiguousDoesNot) {
   EXPECT_GT(rec.seconds, rw.seconds);
 }
 
+TEST(CollectiveWriteFaultTest, DeadAggregatorAndServerRecoverAtAPinnedCost) {
+  // 64 ranks -> 16 nodes, 1 ION, 8 aggregators at ranks 0, 8, ..., 56.
+  // Killing node 0 (ranks 0-3) takes down exactly the domain-0 aggregator;
+  // killing server 0 forces stripe failover on the write path.
+  Env env(64);
+  const format::VolumeLayout layout(
+      format::supernova_desc(format::FileFormat::kRaw, 64));
+  render::Decomposition decomp({64, 64, 64}, 64);
+  std::vector<RankBlock> blocks;
+  for (std::int64_t b = 0; b < decomp.num_blocks(); ++b) {
+    blocks.push_back(RankBlock{b, decomp.block_box(b)});
+  }
+  CollectiveWriter writer(env.model_rt, env.storage, Hints::untuned());
+  const ReadResult healthy = writer.write(layout, 0, blocks);
+
+  fault::FaultPlan plan;
+  plan.fail_node(0);
+  plan.fail_server(0);
+  fault::FaultStats first, second;
+  env.model_rt.set_faults(&plan, &first);
+  const ReadResult faulty = writer.write(layout, 0, blocks);
+  env.model_rt.set_faults(&plan, &second);
+  const ReadResult again = writer.write(layout, 0, blocks);
+  env.model_rt.set_faults(nullptr, nullptr);
+
+  EXPECT_EQ(first.reassigned_aggregators, 1);
+  EXPECT_GT(first.failover_extents, 0);
+  EXPECT_GT(first.retries, 0);
+  EXPECT_GT(faulty.seconds, healthy.seconds);
+  EXPECT_EQ(faulty.useful_bytes, healthy.useful_bytes);
+
+  // Recovery is deterministic: identical costs and identical accounting.
+  EXPECT_EQ(faulty.seconds, again.seconds);
+  EXPECT_EQ(faulty.physical_bytes, again.physical_bytes);
+  EXPECT_EQ(faulty.accesses, again.accesses);
+  EXPECT_EQ(first.reassigned_aggregators, second.reassigned_aggregators);
+  EXPECT_EQ(first.failover_extents, second.failover_extents);
+  EXPECT_EQ(first.retries, second.retries);
+}
+
 TEST(CollectiveWriteTest, BadHintsRejected) {
   Env env(4);
   Hints h;

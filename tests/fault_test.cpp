@@ -73,6 +73,7 @@ void expect_same_fault_stats(const fault::FaultStats& a,
   EXPECT_EQ(a.failed_ions, b.failed_ions);
   EXPECT_EQ(a.failed_servers, b.failed_servers);
   EXPECT_EQ(a.degraded_servers, b.degraded_servers);
+  EXPECT_EQ(a.degraded_nodes, b.degraded_nodes);
   EXPECT_EQ(a.undeliverable_messages, b.undeliverable_messages);
   EXPECT_EQ(a.retries, b.retries);
   EXPECT_EQ(a.rerouted_messages, b.rerouted_messages);
@@ -218,6 +219,70 @@ TEST(FaultFrameTest, GeneratedPlanFrameIsReproducible) {
   expect_same_frame(runs[0], runs[1]);
   expect_same_fault_stats(runs[0].faults, runs[1].faults);
   EXPECT_GT(runs[0].faults.failed_nodes, 0);
+}
+
+TEST(FaultPlanTest, DegradedComputeNodesSampledDeterministically) {
+  const auto part = make_partition(512);
+  const machine::StorageConfig storage;
+  fault::FaultSpec spec;
+  spec.seed = 11;
+  spec.node_fail_rate = 0.2;
+  spec.compute_degrade_rate = 0.3;
+  spec.compute_degrade_factor = 2.5;
+  const auto a = fault::FaultPlan::generate(part, storage, spec);
+  const auto b = fault::FaultPlan::generate(part, storage, spec);
+  EXPECT_GT(a.census().degraded_nodes, 0);
+  for (std::int64_t n = 0; n < part.num_nodes(); ++n) {
+    EXPECT_EQ(a.node_degrade(n), b.node_degrade(n));
+    // Dead beats degraded: a node is never both.
+    if (a.node_failed(n)) EXPECT_EQ(a.node_degrade(n), 1.0);
+    if (a.node_degrade(n) != 1.0) EXPECT_EQ(a.node_degrade(n), 2.5);
+  }
+  fault::FaultSpec bad;
+  bad.compute_degrade_factor = 0.5;
+  EXPECT_THROW(fault::FaultPlan::generate(part, storage, bad), Error);
+}
+
+TEST(FaultFrameTest, DegradedNodeStretchesTheRenderStraggler) {
+  core::ParallelVolumeRenderer renderer(small_config(64));
+  const core::FrameStats healthy = renderer.model_frame();
+
+  fault::FaultPlan plan;
+  plan.degrade_node(0, 4.0);  // ranks 0-3 render every sample 4x slower
+  const core::FrameStats degraded = renderer.model_frame_with_faults(plan);
+
+  // Nothing is lost — every block still renders, coverage stays 100% —
+  // but the BSP render phase waits on the throttled straggler.
+  EXPECT_EQ(degraded.faults.degraded_nodes, 1);
+  EXPECT_EQ(degraded.faults.dropped_blocks, 0);
+  EXPECT_EQ(degraded.faults.coverage, 1.0);
+  EXPECT_EQ(degraded.render.total_samples, healthy.render.total_samples);
+  EXPECT_EQ(degraded.render.max_rank_samples,
+            healthy.render.max_rank_samples);
+  EXPECT_GT(degraded.render_seconds, healthy.render_seconds);
+  EXPECT_LE(degraded.render_seconds, 4.0 * healthy.render_seconds + 1e-12);
+
+  // A degrade factor of exactly 1.0 is bit-identical to the healthy phase.
+  fault::FaultPlan unity;
+  unity.degrade_node(0, 1.0);
+  const core::FrameStats same = renderer.model_frame_with_faults(unity);
+  EXPECT_EQ(same.render.seconds, healthy.render.seconds);
+  EXPECT_EQ(same.render.total_samples, healthy.render.total_samples);
+}
+
+TEST(FaultRenderTest, EstimateDegradedWithUnitSlowdownIsBitIdentical) {
+  const auto cfg = small_config(64);
+  core::ParallelVolumeRenderer renderer(cfg);
+  const render::RenderModel model(cfg.machine);
+  const render::RenderEstimate plain =
+      model.estimate(renderer.decomposition(), cfg.num_ranks,
+                     renderer.camera(), cfg.render);
+  const render::RenderEstimate weighted = model.estimate_degraded(
+      renderer.decomposition(), cfg.num_ranks, renderer.camera(), cfg.render,
+      [](std::int64_t) { return 1.0; });
+  EXPECT_EQ(plain.seconds, weighted.seconds);
+  EXPECT_EQ(plain.total_samples, weighted.total_samples);
+  EXPECT_EQ(plain.max_rank_samples, weighted.max_rank_samples);
 }
 
 TEST(FaultStorageTest, FailedServerFailsOverAtACost) {
