@@ -59,6 +59,8 @@ void validate(const ExperimentConfig& config) {
              std::to_string(par::kMaxThreads) +
              "]; 0 defers to PVR_THREADS");
   }
+  // Steal config validation throws its own pvr::Error naming the field.
+  steal::validate(config.steal);
   const auto& dims = config.dataset.dims;
   if (dims.x <= 0 || dims.y <= 0 || dims.z <= 0) {
     throw Error("invalid ExperimentConfig: dataset.dims = (" +
@@ -169,6 +171,117 @@ iolib::ReadResult ParallelVolumeRenderer::model_io_independent(
   return reader.read(*layout_, variable_, blocks, nullptr, {}, log);
 }
 
+std::vector<steal::BlockWork> ParallelVolumeRenderer::steal_block_work()
+    const {
+  const render::RenderModel rmodel(config_.machine);
+  const double step_world =
+      config_.render.step_voxels * render::voxel_size(config_.dataset.dims);
+  std::vector<steal::BlockWork> work;
+  work.reserve(std::size_t(decomp_->num_blocks()));
+  for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
+    const Box3d wb =
+        render::world_box_of(decomp_->block_box(b), config_.dataset.dims);
+    const Rect fp = camera_.footprint(wb);
+    steal::BlockWork w;
+    w.block = b;
+    w.owner = render::Decomposition::rank_of_block(b, config_.num_ranks);
+    w.samples = rmodel.block_samples(wb, camera_, step_world);
+    w.rows = std::max(0, fp.height());
+    w.bytes = decomp_->ghost_box(b, config_.ghost).volume() *
+              config_.dataset.element_bytes;
+    work.push_back(w);
+  }
+  return work;
+}
+
+steal::StealSchedule ParallelVolumeRenderer::steal_stage(
+    runtime::Runtime& rt,
+    const std::function<double(std::int64_t)>& rank_slowdown,
+    FrameStats* stats) {
+  stats->steal.policy = config_.steal.policy;
+  if (!config_.steal.enabled()) return {};
+
+  const steal::StealPlanner planner(config_.machine, config_.steal);
+  const auto work = steal_block_work();
+  steal::StealSchedule sched =
+      planner.plan(work, config_.num_ranks, rank_slowdown);
+  stats->steal.chunks_stolen = sched.chunks_stolen;
+  stats->steal.bytes_replicated = sched.bytes_replicated;
+  stats->steal.straggler_before = sched.straggler_before;
+  stats->steal.straggler_after = sched.straggler_after;
+  if (sched.empty()) return sched;
+
+  constexpr std::int32_t kClaimTag = 61;
+  constexpr std::int32_t kReplicateTag = 62;
+  double steal_seconds = 0.0;
+  {
+    // Claim descriptors: one control message victim -> thief per merged
+    // claim, priced as a real torus exchange (detours and retries apply
+    // when a fault plan is armed on the runtime). Steal traffic is
+    // asynchronous — it overlaps the render stage's own barrier — so it is
+    // priced without a synchronization-skew term of its own.
+    obs::ScopedSpan span(tracer_, "steal.claim", obs::Category::kSteal);
+    std::vector<runtime::Message> claims;
+    claims.reserve(sched.claims.size());
+    for (const steal::StealClaim& c : sched.claims) {
+      claims.push_back(runtime::Message{c.victim, c.thief, kClaimTag,
+                                        config_.steal.claim_bytes, {}});
+    }
+    const std::int64_t n_claims = std::int64_t(claims.size());
+    const net::ExchangeCost cost =
+        rt.exchange_messages_overlapped(std::move(claims));
+    steal_seconds += cost.seconds;
+    if (tracer_ != nullptr) {
+      span.arg("claims", double(n_claims));
+      span.arg("seconds", cost.seconds);
+    }
+  }
+  if (config_.steal.policy == steal::StealPolicy::kReplicateBlocks) {
+    // One whole-block copy (ghost included) per distinct (block, thief)
+    // pair, shipped owner -> thief before the thief renders its bands.
+    obs::ScopedSpan span(tracer_, "steal.transfer", obs::Category::kSteal);
+    std::vector<runtime::Message> copies;
+    for (std::size_t k = 0; k < sched.claims.size(); ++k) {
+      const steal::StealClaim& c = sched.claims[k];
+      bool first_for_pair = true;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (sched.claims[j].block == c.block &&
+            sched.claims[j].thief == c.thief) {
+          first_for_pair = false;
+          break;
+        }
+      }
+      if (!first_for_pair) continue;
+      copies.push_back(runtime::Message{c.victim, c.thief, kReplicateTag,
+                                        work[std::size_t(c.block)].bytes,
+                                        {}});
+    }
+    const std::int64_t n_copies = std::int64_t(copies.size());
+    const net::ExchangeCost cost =
+        rt.exchange_messages_overlapped(std::move(copies));
+    steal_seconds += cost.seconds;
+    if (tracer_ != nullptr) {
+      span.arg("blocks", double(n_copies));
+      span.arg("bytes", double(sched.bytes_replicated));
+      span.arg("seconds", cost.seconds);
+    }
+  }
+  stats->steal.steal_seconds = steal_seconds;
+  if (tracer_ != nullptr) {
+    for (const steal::StealClaim& c : sched.claims) {
+      tracer_->metrics().indexed("steal.claims_by_thief").add(c.thief, 1);
+      tracer_->metrics()
+          .indexed("steal.samples_by_thief")
+          .add(c.thief, c.samples);
+    }
+    tracer_->metrics().counter("steal.chunks_stolen").add(sched.chunks_stolen);
+    tracer_->metrics()
+        .counter("steal.bytes_replicated")
+        .add(sched.bytes_replicated);
+  }
+  return sched;
+}
+
 render::RenderEstimate ParallelVolumeRenderer::model_render() const {
   const render::RenderModel model(config_.machine);
   return model.estimate(*decomp_, config_.num_ranks, camera_,
@@ -222,14 +335,26 @@ FrameStats ParallelVolumeRenderer::model_frame() {
   }
   {
     // The render model prices the stage without touching the runtime, so
-    // the stage span advances the clock itself.
+    // the stage span advances the clock itself. With stealing enabled the
+    // stage also holds the claim exchanges (which advance the clock on
+    // their own) and the render phase shrinks to the post-schedule
+    // straggler; with kOff this is byte-for-byte the pre-stealing path.
     obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
     stats.render = model_render();
-    stats.render_seconds = stats.render.seconds;
+    if (config_.steal.enabled()) {
+      const steal::StealSchedule sched =
+          steal_stage(model_rt(), nullptr, &stats);
+      if (!sched.empty()) {
+        stats.render.max_rank_samples = sched.max_rank_samples_after;
+        stats.render.seconds = sched.worst_after_seconds *
+                               (1.0 + config_.machine.render_imbalance);
+      }
+    }
+    stats.render_seconds = stats.render.seconds + stats.steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
-      tracer_->advance(stats.render_seconds);
+      tracer_->advance(stats.render.seconds);
     }
   }
   {
@@ -303,21 +428,32 @@ FrameStats ParallelVolumeRenderer::model_frame_with_faults(
   }
 
   // --- Stage 2: dead ranks render nothing; degraded-but-alive ranks render
-  // slower; the straggler is the worst weighted live rank. ---
+  // slower; the straggler is the worst weighted live rank. With stealing
+  // enabled, live idle ranks first claim scanline chunks from the slowest
+  // live ranks (dead ranks are neither victims nor thieves), so the
+  // straggler term shrinks to the post-schedule worst. ---
   {
     obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
+    const auto slowdown = [&](std::int64_t rank) {
+      if (plan.rank_failed(rank, *partition_)) return 0.0;
+      return plan.rank_degrade(rank, *partition_);
+    };
     const render::RenderModel rmodel(config_.machine);
-    stats.render = rmodel.estimate_degraded(
-        *decomp_, config_.num_ranks, camera_, config_.render,
-        [&](std::int64_t rank) {
-          if (plan.rank_failed(rank, *partition_)) return 0.0;
-          return plan.rank_degrade(rank, *partition_);
-        });
-    stats.render_seconds = stats.render.seconds;
+    stats.render = rmodel.estimate_degraded(*decomp_, config_.num_ranks,
+                                            camera_, config_.render, slowdown);
+    if (config_.steal.enabled()) {
+      const steal::StealSchedule sched = steal_stage(rt, slowdown, &stats);
+      if (!sched.empty()) {
+        stats.render.max_rank_samples = sched.max_rank_samples_after;
+        stats.render.seconds = sched.worst_after_seconds *
+                               (1.0 + config_.machine.render_imbalance);
+      }
+    }
+    stats.render_seconds = stats.render.seconds + stats.steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
-      tracer_->advance(stats.render_seconds);
+      tracer_->advance(stats.render.seconds);
     }
   }
 
@@ -446,7 +582,13 @@ void ParallelVolumeRenderer::execute_render_and_composite(
     std::span<Brick> bricks, FrameStats* stats, Image* out) {
   runtime::Runtime& rt = execute_rt();
 
-  // --- Stage 2: ray casting, real samples. ---
+  // --- Stage 2: ray casting, real samples. With stealing enabled, the
+  // frame's deterministic steal schedule is planned and priced first; each
+  // claimed row band is then rendered separately (the thief's work) and
+  // stitched back in row order. Rays are independent on the global sample
+  // lattice, so the stitched pixels and the total sample count are
+  // bit-identical to the unstolen render — only the per-rank attribution
+  // (and with it the measured straggler) changes. ---
   std::vector<render::SubImage> subimages;
   std::vector<compose::BlockScreenInfo> infos;
   {
@@ -457,11 +599,53 @@ void ParallelVolumeRenderer::execute_render_and_composite(
     PVR_ASSERT(bricks.size() == infos.size());
     subimages.reserve(infos.size());
     std::vector<std::int64_t> rank_samples(std::size_t(config_.num_ranks), 0);
+    steal::StealSchedule sched;
+    if (config_.steal.enabled()) {
+      sched = steal_stage(rt, nullptr, stats);
+    }
+    std::size_t next_claim = 0;  // claims are sorted by (block, row_begin)
     for (std::int64_t b = 0; b < decomp_->num_blocks(); ++b) {
-      render::SubImage sub =
-          caster.render_block(bricks[std::size_t(b)], decomp_->block_box(b),
-                              camera_, tf, pool_.get());
-      rank_samples[std::size_t(infos[std::size_t(b)].rank)] += sub.samples;
+      const Box3i owned = decomp_->block_box(b);
+      const std::int64_t owner = infos[std::size_t(b)].rank;
+      const std::size_t claims_begin = next_claim;
+      while (next_claim < sched.claims.size() &&
+             sched.claims[next_claim].block == b) {
+        ++next_claim;
+      }
+      if (claims_begin == next_claim) {
+        render::SubImage sub = caster.render_block(
+            bricks[std::size_t(b)], owned, camera_, tf, pool_.get());
+        rank_samples[std::size_t(owner)] += sub.samples;
+        subimages.push_back(std::move(sub));
+        continue;
+      }
+      const Rect full = infos[std::size_t(b)].footprint;
+      render::SubImage sub;
+      sub.rect = full;
+      sub.depth = infos[std::size_t(b)].depth;
+      sub.pixels.assign(std::size_t(full.pixel_count()), kTransparent);
+      const std::size_t width = std::size_t(full.width());
+      const auto render_band = [&](std::int64_t row_begin,
+                                   std::int64_t row_end,
+                                   std::int64_t renderer) {
+        if (row_begin >= row_end) return;
+        render::SubImage band =
+            caster.render_block_rows(bricks[std::size_t(b)], owned, camera_,
+                                     tf, row_begin, row_end, pool_.get());
+        std::copy(band.pixels.begin(), band.pixels.end(),
+                  sub.pixels.begin() +
+                      std::ptrdiff_t(std::size_t(row_begin) * width));
+        sub.samples += band.samples;
+        rank_samples[std::size_t(renderer)] += band.samples;
+      };
+      std::int64_t row = 0;
+      for (std::size_t k = claims_begin; k < next_claim; ++k) {
+        const steal::StealClaim& c = sched.claims[k];
+        render_band(row, c.row_begin, owner);
+        render_band(c.row_begin, c.row_end, c.thief);
+        row = c.row_end;
+      }
+      render_band(row, std::max(0, full.height()), owner);
       subimages.push_back(std::move(sub));
     }
     const render::RenderModel rmodel(config_.machine);
@@ -473,11 +657,11 @@ void ParallelVolumeRenderer::execute_render_and_composite(
     // imbalance), so no modeled imbalance factor is applied.
     stats->render.seconds =
         rmodel.seconds_for_samples(stats->render.max_rank_samples);
-    stats->render_seconds = stats->render.seconds;
+    stats->render_seconds = stats->render.seconds + stats->steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats->render.total_samples));
       stage.arg("max_rank_samples", double(stats->render.max_rank_samples));
-      tracer_->advance(stats->render_seconds);
+      tracer_->advance(stats->render.seconds);
     }
   }
 
@@ -525,11 +709,20 @@ FrameStats ParallelVolumeRenderer::model_insitu_frame() {
   {
     obs::ScopedSpan stage(tracer_, "stage.render", obs::Category::kRender);
     stats.render = model_render();
-    stats.render_seconds = stats.render.seconds;
+    if (config_.steal.enabled()) {
+      const steal::StealSchedule sched =
+          steal_stage(model_rt(), nullptr, &stats);
+      if (!sched.empty()) {
+        stats.render.max_rank_samples = sched.max_rank_samples_after;
+        stats.render.seconds = sched.worst_after_seconds *
+                               (1.0 + config_.machine.render_imbalance);
+      }
+    }
+    stats.render_seconds = stats.render.seconds + stats.steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
-      tracer_->advance(stats.render_seconds);
+      tracer_->advance(stats.render.seconds);
     }
   }
   {

@@ -40,6 +40,7 @@
 #include "par/thread_pool.hpp"
 #include "render/decomposition.hpp"
 #include "render/render_model.hpp"
+#include "steal/steal.hpp"
 
 namespace pvr::core {
 
@@ -60,6 +61,12 @@ struct ExperimentConfig {
   /// Paper §III-B: "statically allocates a small number of blocks to each
   /// process". Blocks are interleaved round-robin over ranks.
   int blocks_per_rank = 1;
+  /// Render-stage work stealing (DESIGN.md §6): with an active policy, idle
+  /// ranks deterministically claim scanline chunks from the slowest live
+  /// ranks before the render phase, collapsing the BSP straggler tail under
+  /// degraded nodes. kOff (the default) leaves every frame byte-identical
+  /// to the pre-stealing pipeline.
+  steal::StealConfig steal;
   /// Host threads for torus routing, ray casting, and compositing. 0 (the
   /// default) defers to the PVR_THREADS environment variable, else runs
   /// serially. Results are bit-identical for every value (DESIGN.md §8); a
@@ -93,6 +100,13 @@ struct FrameStats {
   /// Fault census + recovery counters; all-zero (coverage 1.0) for healthy
   /// frames. Filled by model_frame_with_faults.
   fault::FaultStats faults;
+
+  /// Work-stealing accounting: what the frame's steal schedule moved and
+  /// what it bought (straggler ratio before/after). Defaults (policy kOff,
+  /// ratios 1.0) when stealing is disabled. steal.steal_seconds is already
+  /// included in render_seconds — the claim/replication exchanges run
+  /// inside the render stage.
+  steal::StealStats steal;
 
   /// Trace summary for the frame (span counts, per-stage span seconds,
   /// coverage of the frame span by its stage children). All-zero with
@@ -154,14 +168,16 @@ struct RunStats {
   double min_coverage = 1.0;  ///< worst per-frame pixel coverage in the run
 
   /// Delivered frames per simulated second, checkpoint and fault overheads
-  /// included. Always <= ideal_fps().
+  /// included. Always <= ideal_fps(). 0 (not NaN) for an empty run: a
+  /// model_run(0) leaves frames_completed and every seconds field at zero,
+  /// and a zero-frame run delivers nothing.
   double effective_fps() const {
-    return total_seconds > 0.0 ? double(frames_completed) / total_seconds
-                               : 0.0;
+    if (frames_completed <= 0 || total_seconds <= 0.0) return 0.0;
+    return double(frames_completed) / total_seconds;
   }
   double ideal_fps() const {
-    return ideal_seconds > 0.0 ? double(frames_completed) / ideal_seconds
-                               : 0.0;
+    if (frames_completed <= 0 || ideal_seconds <= 0.0) return 0.0;
+    return double(frames_completed) / ideal_seconds;
   }
   /// Fractional slowdown versus the ideal run (the quantity Young/Daly
   /// minimizes): 0 when nothing was lost or checkpointed.
@@ -274,6 +290,20 @@ class ParallelVolumeRenderer {
   /// stats.render/composite; `out` receives the image if non-null.
   void execute_render_and_composite(std::span<Brick> bricks,
                                     FrameStats* stats, Image* out);
+  /// Per-block render work for the steal planner (modeled samples, footprint
+  /// rows, replication bytes), in block order.
+  std::vector<steal::BlockWork> steal_block_work() const;
+  /// The steal phase, run inside the render stage span of any frame method
+  /// when config().steal is enabled: plans the frame's schedule for the
+  /// given per-rank slowdowns (null = all healthy), prices the claim — and,
+  /// under kReplicateBlocks, the whole-block replication — exchanges
+  /// through `rt` (fault-aware when a plan is armed on it), and fills
+  /// stats->steal. Returns the schedule; empty when stealing is off or the
+  /// load is already balanced.
+  steal::StealSchedule steal_stage(
+      runtime::Runtime& rt,
+      const std::function<double(std::int64_t)>& rank_slowdown,
+      FrameStats* stats);
 
   ExperimentConfig config_;
   std::unique_ptr<machine::Partition> partition_;

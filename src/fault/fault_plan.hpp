@@ -94,16 +94,28 @@ class FaultPlan {
                             const FaultSpec& spec);
 
   // --- explicit injection (tests, targeted what-if studies) ---
-  void fail_node(std::int64_t node) { nodes_.insert(node); }
+  // Dead and degraded are mutually exclusive states: killing a component
+  // clears any degradation it carried, and degrading a dead component is a
+  // no-op (it cannot run slowly — it does not run at all). Generated plans
+  // obey the same invariant.
+  void fail_node(std::int64_t node) {
+    nodes_.insert(node);
+    degraded_nodes_.erase(node);
+  }
   void fail_link(std::int64_t node, int dim, int dir) {
     links_.insert(link_key(node, dim, dir));
   }
   void fail_ion(std::int64_t ion) { ions_.insert(ion); }
-  void fail_server(int server) { servers_.insert(server); }
+  void fail_server(int server) {
+    servers_.insert(server);
+    degraded_.erase(server);
+  }
   void degrade_server(int server, double factor) {
+    if (server_failed(server)) return;
     degraded_[server] = factor;
   }
   void degrade_node(std::int64_t node, double factor) {
+    if (node_failed(node)) return;
     degraded_nodes_[node] = factor;
   }
 

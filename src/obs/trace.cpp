@@ -16,6 +16,7 @@ const char* to_string(Category cat) {
     case Category::kCompute: return "compute";
     case Category::kFault: return "fault";
     case Category::kCheckpoint: return "ckpt";
+    case Category::kSteal: return "steal";
     case Category::kOther: return "other";
   }
   return "other";

@@ -42,6 +42,7 @@ enum class Category {
   kCompute,     ///< a superstep compute phase (incl. blending)
   kFault,       ///< fault census / recovery actions
   kCheckpoint,  ///< checkpoint write / restart read / rollback phases
+  kSteal,       ///< work-stealing claim / block-replication phases
   kOther,
 };
 

@@ -9,6 +9,7 @@
 //   pvr::storage   — parallel file system model, access logs
 //   pvr::ckpt      — checkpoint/restart codec and Young/Daly intervals
 //   pvr::fault     — deterministic fault injection, plans and timelines
+//   pvr::steal     — deterministic render-stage work-stealing schedules
 //   pvr::obs       — simulated-clock tracing, metrics, trace/metric export
 //   pvr::runtime   — superstep rank runtime (execute & model modes)
 //   pvr::net       — torus and tree network models
@@ -56,6 +57,7 @@
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
+#include "steal/steal.hpp"
 #include "storage/access_log.hpp"
 #include "storage/storage_model.hpp"
 #include "util/brick.hpp"

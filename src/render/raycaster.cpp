@@ -139,6 +139,37 @@ bool same_box(const Box3d& a, const Box3d& b) {
 
 }  // namespace
 
+void Raycaster::render_rect(const Brick& brick, const Box3d& region,
+                            bool region_is_volume, const Camera& camera,
+                            const TransferFunction& tf, par::ThreadPool* pool,
+                            SubImage* out) const {
+  out->pixels.assign(std::size_t(out->rect.pixel_count()), kTransparent);
+
+  // Scanline chunks: each chunk writes a disjoint row range of out->pixels
+  // and tallies its own sample count; rays are independent, so any thread
+  // count produces identical pixels, and the chunk-ordered sample merge is
+  // exact.
+  const std::int64_t rows = out->rect.y1 - out->rect.y0;
+  const std::size_t width = std::size_t(out->rect.x1 - out->rect.x0);
+  std::vector<std::int64_t> chunk_samples(
+      std::size_t(par::plan_chunks(rows).count), 0);
+  par::parallel_for(
+      pool, rows, /*min_grain=*/1,
+      [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t chunk) {
+        std::int64_t samples = 0;
+        for (std::int64_t row = row_begin; row < row_end; ++row) {
+          const int py = out->rect.y0 + int(row);
+          std::size_t i = std::size_t(row) * width;
+          for (int px = out->rect.x0; px < out->rect.x1; ++px) {
+            out->pixels[i++] = integrate_ray(brick, region, region_is_volume,
+                                             camera.ray(px, py), tf, &samples);
+          }
+        }
+        chunk_samples[std::size_t(chunk)] = samples;
+      });
+  out->samples = merge_samples(chunk_samples);
+}
+
 SubImage Raycaster::render_block(const Brick& brick, const Box3i& owned,
                                  const Camera& camera,
                                  const TransferFunction& tf,
@@ -152,31 +183,31 @@ SubImage Raycaster::render_block(const Brick& brick, const Box3i& owned,
   out.rect = camera.footprint(region);
   out.depth = camera.depth_of(
       {region.center().x, region.center().y, region.center().z});
-  out.pixels.assign(std::size_t(out.rect.pixel_count()), kTransparent);
+  render_rect(brick, region, region_is_volume, camera, tf, pool, &out);
+  return out;
+}
 
-  // Scanline chunks: each chunk writes a disjoint row range of out.pixels
-  // and tallies its own sample count; rays are independent, so any thread
-  // count produces identical pixels, and the chunk-ordered sample merge is
-  // exact.
-  const std::int64_t rows = out.rect.y1 - out.rect.y0;
-  const std::size_t width = std::size_t(out.rect.x1 - out.rect.x0);
-  std::vector<std::int64_t> chunk_samples(
-      std::size_t(par::plan_chunks(rows).count), 0);
-  par::parallel_for(
-      pool, rows, /*min_grain=*/1,
-      [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t chunk) {
-        std::int64_t samples = 0;
-        for (std::int64_t row = row_begin; row < row_end; ++row) {
-          const int py = out.rect.y0 + int(row);
-          std::size_t i = std::size_t(row) * width;
-          for (int px = out.rect.x0; px < out.rect.x1; ++px) {
-            out.pixels[i++] = integrate_ray(brick, region, region_is_volume,
-                                            camera.ray(px, py), tf, &samples);
-          }
-        }
-        chunk_samples[std::size_t(chunk)] = samples;
-      });
-  out.samples = merge_samples(chunk_samples);
+SubImage Raycaster::render_block_rows(const Brick& brick, const Box3i& owned,
+                                      const Camera& camera,
+                                      const TransferFunction& tf,
+                                      std::int64_t row_begin,
+                                      std::int64_t row_end,
+                                      par::ThreadPool* pool) const {
+  PVR_REQUIRE(!owned.empty(), "owned box must not be empty");
+  require_ghost_coverage(brick, owned, dims_);
+
+  const Box3d region = world_box_of(owned, dims_);
+  const bool region_is_volume = same_box(region, world_box(dims_));
+  const Rect full = camera.footprint(region);
+  const std::int64_t rows = std::max(0, full.height());
+  PVR_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= rows,
+              "row band outside the block footprint");
+  SubImage out;
+  out.rect = Rect{full.x0, full.y0 + int(row_begin), full.x1,
+                  full.y0 + int(row_end)};
+  out.depth = camera.depth_of(
+      {region.center().x, region.center().y, region.center().z});
+  render_rect(brick, region, region_is_volume, camera, tf, pool, &out);
   return out;
 }
 

@@ -58,6 +58,18 @@ class Raycaster {
                         const Camera& camera, const TransferFunction& tf,
                         par::ThreadPool* pool = nullptr) const;
 
+  /// Renders only rows [row_begin, row_end) of the block's screen footprint
+  /// (rows counted from the footprint's top edge). Returns a band SubImage
+  /// whose rect is the footprint clipped to that row range. Samples lie on
+  /// the global ray lattice and rays are independent, so stitching disjoint
+  /// bands back together in row order reproduces render_block's pixels and
+  /// total sample count bit-for-bit — the basis of render-stage work
+  /// stealing, where thief ranks render bands of a victim's block.
+  SubImage render_block_rows(const Brick& brick, const Box3i& owned,
+                             const Camera& camera, const TransferFunction& tf,
+                             std::int64_t row_begin, std::int64_t row_end,
+                             par::ThreadPool* pool = nullptr) const;
+
   /// Bivariate variant: color sampled from `color_brick`, opacity from
   /// `opacity_brick` (both must cover owned + ghost).
   SubImage render_block_bivariate(const Brick& color_brick,
@@ -83,6 +95,14 @@ class Raycaster {
   Rgba integrate_ray(const Brick& brick, const Box3d& region_world,
                      bool region_is_volume, const Ray& ray,
                      const TransferFunction& tf, std::int64_t* samples) const;
+
+  /// Fills `out->pixels` for the preset `out->rect` (full footprint or a row
+  /// band of it) in scanline chunks; shared by render_block and
+  /// render_block_rows.
+  void render_rect(const Brick& brick, const Box3d& region,
+                   bool region_is_volume, const Camera& camera,
+                   const TransferFunction& tf, par::ThreadPool* pool,
+                   SubImage* out) const;
 
   Vec3i dims_;
   RenderConfig config_;

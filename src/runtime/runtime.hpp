@@ -138,6 +138,16 @@ class Runtime {
       std::vector<Message> messages, const ConsumeFn& consume = nullptr,
       int rounds = 1, ConsumePolicy policy = ConsumePolicy::kSerial);
 
+  /// Like exchange_messages, but priced as traffic overlapped with an
+  /// enclosing phase: routing, serialization, contention, and fault
+  /// handling all apply, but no synchronization-skew term is charged
+  /// because the messages do not close a BSP round of their own — the
+  /// enclosing stage's barrier does. Used by asynchronous protocols such
+  /// as render-stage work stealing (pvr::steal).
+  net::ExchangeCost exchange_messages_overlapped(
+      std::vector<Message> messages, const ConsumeFn& consume = nullptr,
+      int rounds = 1, ConsumePolicy policy = ConsumePolicy::kSerial);
+
   /// Compute phase: runs `body` on every rank; the phase costs the maximum
   /// of the reported per-rank durations. `body` returns its rank's modeled
   /// compute seconds.
@@ -154,6 +164,10 @@ class Runtime {
   void reset_ledger() { ledger_ = {}; }
 
  private:
+  net::ExchangeCost exchange_messages_impl(std::vector<Message> messages,
+                                           const ConsumeFn& consume,
+                                           int rounds, ConsumePolicy policy,
+                                           bool overlapped);
   double charge_collective(const char* name, std::int64_t bytes,
                            double seconds);
 

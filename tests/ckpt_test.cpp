@@ -223,7 +223,9 @@ TEST(FaultTimelineTest, GenerateIsDeterministicAndPrefixStable) {
     EXPECT_EQ(full->fraction, arr.fraction);
   }
   for (const auto& arr : a.arrivals()) {
-    if (arr.frame < 25) EXPECT_NE(prefix.arrival_at(arr.frame), nullptr);
+    if (arr.frame < 25) {
+      EXPECT_NE(prefix.arrival_at(arr.frame), nullptr);
+    }
   }
 }
 
@@ -265,6 +267,24 @@ TEST(ModelRunTest, EmptyTimelineNoPolicyMatchesRepeatedModelFrames) {
     EXPECT_EQ(frame.write_seconds, 0.0);
     EXPECT_EQ(frame.write_bandwidth(), 0.0);
   }
+}
+
+TEST(ModelRunTest, ZeroFramesYieldZeroThroughputNotNaN) {
+  core::ParallelVolumeRenderer runner(run_config());
+  const core::RunStats run = runner.model_run(0);
+  EXPECT_EQ(run.frames_completed, 0);
+  EXPECT_EQ(run.total_seconds, 0.0);
+  EXPECT_EQ(run.effective_fps(), 0.0);
+  EXPECT_EQ(run.ideal_fps(), 0.0);
+  EXPECT_EQ(run.overhead_fraction(), 0.0);
+  EXPECT_FALSE(std::isnan(run.effective_fps()));
+  EXPECT_FALSE(std::isnan(run.ideal_fps()));
+
+  // A default-constructed RunStats is equally safe to report from.
+  const core::RunStats none;
+  EXPECT_EQ(none.effective_fps(), 0.0);
+  EXPECT_EQ(none.ideal_fps(), 0.0);
+  EXPECT_EQ(none.overhead_fraction(), 0.0);
 }
 
 TEST(ModelRunTest, CheckpointsFollowPolicyAndFaultsRollBack) {

@@ -117,6 +117,59 @@ TEST(FaultPlanTest, ZeroRatesGenerateAnEmptyPlan) {
   EXPECT_TRUE(plan.empty());
 }
 
+TEST(FaultPlanTest, DeadBeatsDegradedInExplicitInjection) {
+  // fail-then-degrade: degrading a dead component is a no-op.
+  fault::FaultPlan plan;
+  plan.fail_node(3);
+  plan.degrade_node(3, 4.0);
+  EXPECT_TRUE(plan.node_failed(3));
+  EXPECT_EQ(plan.node_degrade(3), 1.0);
+  plan.fail_server(2);
+  plan.degrade_server(2, 8.0);
+  EXPECT_TRUE(plan.server_failed(2));
+  EXPECT_EQ(plan.server_degrade(2), 1.0);
+
+  // degrade-then-fail: killing the component clears its degradation.
+  fault::FaultPlan other;
+  other.degrade_node(5, 4.0);
+  other.fail_node(5);
+  EXPECT_TRUE(other.node_failed(5));
+  EXPECT_EQ(other.node_degrade(5), 1.0);
+  other.degrade_server(1, 8.0);
+  other.fail_server(1);
+  EXPECT_TRUE(other.server_failed(1));
+  EXPECT_EQ(other.server_degrade(1), 1.0);
+
+  // The census never double-counts a component as both dead and degraded.
+  const fault::FaultStats census = other.census();
+  EXPECT_EQ(census.failed_nodes, 1);
+  EXPECT_EQ(census.degraded_nodes, 0);
+  EXPECT_EQ(census.failed_servers, 1);
+  EXPECT_EQ(census.degraded_servers, 0);
+}
+
+TEST(FaultPlanTest, GeneratedPlansKeepDeadAndDegradedDisjoint) {
+  const auto part = make_partition(512);
+  fault::FaultSpec spec;
+  spec.seed = 7;
+  spec.node_fail_rate = 0.3;
+  spec.compute_degrade_rate = 0.5;
+  spec.server_fail_rate = 0.3;
+  spec.server_degrade_rate = 0.5;
+  const machine::StorageConfig storage;
+  const auto plan = fault::FaultPlan::generate(part, storage, spec);
+  for (std::int64_t n = 0; n < part.num_nodes(); ++n) {
+    if (plan.node_failed(n)) {
+      EXPECT_EQ(plan.node_degrade(n), 1.0);
+    }
+  }
+  for (int s = 0; s < storage.num_servers; ++s) {
+    if (plan.server_failed(s)) {
+      EXPECT_EQ(plan.server_degrade(s), 1.0);
+    }
+  }
+}
+
 TEST(FaultPlanTest, GenerateAlwaysLeavesSurvivors) {
   const auto part = make_partition(64);
   fault::FaultSpec spec;
@@ -235,8 +288,12 @@ TEST(FaultPlanTest, DegradedComputeNodesSampledDeterministically) {
   for (std::int64_t n = 0; n < part.num_nodes(); ++n) {
     EXPECT_EQ(a.node_degrade(n), b.node_degrade(n));
     // Dead beats degraded: a node is never both.
-    if (a.node_failed(n)) EXPECT_EQ(a.node_degrade(n), 1.0);
-    if (a.node_degrade(n) != 1.0) EXPECT_EQ(a.node_degrade(n), 2.5);
+    if (a.node_failed(n)) {
+      EXPECT_EQ(a.node_degrade(n), 1.0);
+    }
+    if (a.node_degrade(n) != 1.0) {
+      EXPECT_EQ(a.node_degrade(n), 2.5);
+    }
   }
   fault::FaultSpec bad;
   bad.compute_degrade_factor = 0.5;
@@ -283,6 +340,42 @@ TEST(FaultRenderTest, EstimateDegradedWithUnitSlowdownIsBitIdentical) {
   EXPECT_EQ(plain.seconds, weighted.seconds);
   EXPECT_EQ(plain.total_samples, weighted.total_samples);
   EXPECT_EQ(plain.max_rank_samples, weighted.max_rank_samples);
+}
+
+TEST(FaultRenderTest, EstimateDegradedWithAllRanksDegradedScalesUniformly) {
+  const auto cfg = small_config(64);
+  core::ParallelVolumeRenderer renderer(cfg);
+  const render::RenderModel model(cfg.machine);
+  const render::RenderEstimate plain =
+      model.estimate(renderer.decomposition(), cfg.num_ranks,
+                     renderer.camera(), cfg.render);
+  const double factor = 4.0;
+  const render::RenderEstimate slow = model.estimate_degraded(
+      renderer.decomposition(), cfg.num_ranks, renderer.camera(), cfg.render,
+      [&](std::int64_t) { return factor; });
+  // A uniform slowdown keeps every sample count and scales only the phase
+  // time: no blocks are dropped and the straggler rank is unchanged.
+  EXPECT_EQ(slow.total_samples, plain.total_samples);
+  EXPECT_EQ(slow.max_rank_samples, plain.max_rank_samples);
+  EXPECT_DOUBLE_EQ(slow.seconds, factor * plain.seconds);
+}
+
+TEST(FaultRenderTest, EstimateDegradedWithASingleLiveRank) {
+  const auto cfg = small_config(64);
+  core::ParallelVolumeRenderer renderer(cfg);
+  const render::RenderModel model(cfg.machine);
+  const render::RenderEstimate plain =
+      model.estimate(renderer.decomposition(), cfg.num_ranks,
+                     renderer.camera(), cfg.render);
+  const render::RenderEstimate lone = model.estimate_degraded(
+      renderer.decomposition(), cfg.num_ranks, renderer.camera(), cfg.render,
+      [](std::int64_t rank) { return rank == 0 ? 1.0 : 0.0; });
+  // Every other rank's blocks are dropped; the lone survivor is both the
+  // total and the straggler.
+  EXPECT_GT(lone.total_samples, 0);
+  EXPECT_LT(lone.total_samples, plain.total_samples);
+  EXPECT_EQ(lone.max_rank_samples, lone.total_samples);
+  EXPECT_LE(lone.seconds, plain.seconds);
 }
 
 TEST(FaultStorageTest, FailedServerFailsOverAtACost) {

@@ -138,6 +138,27 @@ TEST(RuntimeTest, ExchangeMessagesPricesExplicitList) {
   EXPECT_EQ(cost.total_bytes, 8192);
 }
 
+TEST(RuntimeTest, OverlappedExchangeSkipsOnlyTheBarrierSkew) {
+  const auto part = make_partition(16);
+  std::vector<Message> msgs;
+  msgs.push_back(Message{0, 15, 0, 4096, {}});
+  msgs.push_back(Message{1, 14, 0, 4096, {}});
+  Runtime barrier_rt(part, Mode::kModel);
+  const auto barrier = barrier_rt.exchange_messages(msgs);
+  Runtime overlap_rt(part, Mode::kModel);
+  const auto overlapped = overlap_rt.exchange_messages_overlapped(msgs);
+  // Same routing and serialization, no barrier-close skew of its own.
+  EXPECT_EQ(overlapped.messages, barrier.messages);
+  EXPECT_EQ(overlapped.total_bytes, barrier.total_bytes);
+  EXPECT_DOUBLE_EQ(overlapped.link_seconds, barrier.link_seconds);
+  EXPECT_DOUBLE_EQ(overlapped.endpoint_seconds, barrier.endpoint_seconds);
+  EXPECT_DOUBLE_EQ(overlapped.skew_seconds, 0.0);
+  EXPECT_GT(barrier.skew_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(overlapped.seconds, barrier.seconds - barrier.skew_seconds);
+  // The ledger records what was actually charged.
+  EXPECT_DOUBLE_EQ(overlap_rt.ledger().exchange, overlapped.seconds);
+}
+
 TEST(RuntimeTest, CollectiveCostsScaleWithBytes) {
   const auto part = make_partition(64);
   Runtime rt(part, Mode::kModel);
