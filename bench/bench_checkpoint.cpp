@@ -154,6 +154,27 @@ int main(int argc, char** argv) {
                   {"write_bw", ckpt_bw}});
   }
 
+  // Bottleneck attribution of a short checkpointing run under a fault
+  // timeline — the run-level attribution includes the checkpoint writes,
+  // restart reads, and lost-work stalls that live between frame spans.
+  {
+    TimelineSpec tspec;
+    tspec.seed = 42;
+    tspec.frame_fault_rate = 1.0 / 8.0;
+    tspec.arrival.node_fail_rate = 0.01;
+    tspec.arrival.server_fail_rate = 0.01;
+    const FaultTimeline timeline = FaultTimeline::generate(
+        renderer.partition(), cfg.storage, 8, tspec);
+    CheckpointPolicy policy;
+    policy.interval_frames = 2;
+    pvr::obs::Tracer tracer;
+    renderer.set_tracer(&tracer);
+    renderer.model_run(8, timeline, policy);
+    renderer.set_tracer(nullptr);
+    const pvr::profile::Profile prof = pvr::profile::analyze(tracer);
+    record_profile("checkpoint/run8/interval2", prof.run);
+  }
+
   std::puts(
       "Checkpointing buys back lost work: past the Young/Daly optimum the\n"
       "interval only adds replay time and effective throughput falls\n"

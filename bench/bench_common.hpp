@@ -32,6 +32,10 @@ using pvr::core::ExperimentConfig;
 using pvr::core::FrameStats;
 using pvr::core::ParallelVolumeRenderer;
 
+/// Version of the bench JSON layout. Bump when keys move or change meaning;
+/// the perf gate refuses to compare dumps across versions.
+inline constexpr std::int64_t kBenchSchemaVersion = 2;
+
 /// The paper's core-count sweep: 64, 128, ..., 32768.
 inline std::vector<std::int64_t> proc_sweep(std::int64_t lo = 64,
                                             std::int64_t hi = 32768) {
@@ -84,6 +88,32 @@ inline std::vector<HostRow>& host_rows() {
 inline std::chrono::steady_clock::time_point& host_clock_mark() {
   static auto mark = std::chrono::steady_clock::now();
   return mark;
+}
+
+/// One recorded frame profile: a representative frame's bottleneck
+/// attribution, emitted into the JSON "profile" section so the perf gate
+/// can name the bucket that regressed, not just the row.
+struct ProfileRow {
+  std::string label;
+  pvr::profile::Attribution attribution;
+};
+
+inline std::vector<ProfileRow>& profile_rows() {
+  static std::vector<ProfileRow> rows;
+  return rows;
+}
+
+/// Records an attribution for the JSON dump. Typical use: trace one
+/// representative frame (or whole run) of the sweep, run profile::analyze,
+/// record the breakdown under a stable label.
+inline void record_profile(const std::string& label,
+                           const pvr::profile::Attribution& attribution) {
+  profile_rows().push_back(ProfileRow{label, attribution});
+}
+
+inline void record_profile(const std::string& label,
+                           const pvr::profile::FrameProfile& profile) {
+  record_profile(label, profile.attribution);
 }
 
 /// Key/value configuration entries echoed into the JSON output (grid size,
@@ -147,6 +177,10 @@ inline std::string json_number(double v) {
 /// Renders the recorded rows + config as a JSON document.
 inline std::string bench_json(const std::string& name) {
   std::string out = "{\n  \"bench\": \"" + detail::json_escape(name) +
+                    "\",\n  \"schema_version\": " +
+                    std::to_string(kBenchSchemaVersion) +
+                    ",\n  \"git_describe\": \"" +
+                    detail::json_escape(PVR_GIT_DESCRIBE) +
                     "\",\n  \"config\": {";
   bool first = true;
   for (const auto& [key, value] : bench_config()) {
@@ -167,6 +201,26 @@ inline std::string bench_json(const std::string& name) {
              "\": " + detail::json_number(value);
     }
     out += "}";
+    first = false;
+  }
+  out += first ? "]," : "\n  ],";
+  // Bottleneck attribution of representative frames (profile::analyze over
+  // a traced frame). Deterministic like "rows"; the gate checks buckets.
+  out += "\n  \"profile\": [";
+  first = true;
+  for (const ProfileRow& prof : profile_rows()) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"label\": \"" + detail::json_escape(prof.label) +
+           "\", \"total_s\": " +
+           detail::json_number(prof.attribution.total_seconds()) +
+           ", \"buckets\": {";
+    for (int b = 0; b < pvr::profile::kNumBuckets; ++b) {
+      const auto bucket = pvr::profile::Bucket(b);
+      out += b > 0 ? ", " : "";
+      out += std::string("\"") + pvr::profile::to_string(bucket) + "\": " +
+             detail::json_number(prof.attribution.seconds(bucket));
+    }
+    out += "}}";
     first = false;
   }
   out += first ? "]," : "\n  ],";

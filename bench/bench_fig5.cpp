@@ -30,13 +30,26 @@ int main(int argc, char** argv) {
       row.push_back(pvr::fmt_f(f.total_seconds(), 1));
       register_sim("fig5/" + pvr::fmt_cubed(s.grid) + "/" + pvr::fmt_procs(p),
                    f.total_seconds(),
-                   {{"io_s", f.io_seconds},
+                   {{"procs", double(p)},
+                    {"io_s", f.io_seconds},
                     {"render_s", f.render_seconds},
                     {"composite_s", f.composite_seconds}});
     }
     table.add_row(std::move(row));
   }
   table.print();
+
+  // Bottleneck attribution of a representative frame (1120^3 at 4096
+  // procs) for the JSON "profile" section the perf gate checks.
+  {
+    ExperimentConfig cfg = paper_config(4096, 1120, 1600);
+    ParallelVolumeRenderer renderer(cfg);
+    pvr::obs::Tracer tracer;
+    renderer.set_tracer(&tracer);
+    renderer.model_frame();
+    const pvr::profile::Profile prof = pvr::profile::analyze(tracer);
+    record_profile("fig5/1120^3/4K", prof.frames.front());
+  }
   std::puts(
       "\nPaper: all three sizes complete at every scale; larger data is\n"
       "I/O-bound and takes minutes rather than seconds.\n");

@@ -121,6 +121,16 @@ int main(int argc, char** argv) {
     }
     table.print();
     std::puts("");
+
+    // Bottleneck attribution of the mixed faulty + stealing frame (the
+    // hardest case: fault recovery, steal traffic, and skew all present).
+    cfg.steal.policy = StealPolicy::kScanlineChunks;
+    ParallelVolumeRenderer traced(cfg);
+    pvr::obs::Tracer tracer;
+    traced.set_tracer(&tracer);
+    traced.model_frame_with_faults(plan);
+    const pvr::profile::Profile prof = pvr::profile::analyze(tracer);
+    record_profile("steal/mixed/scanline", prof.frames.front());
   }
 
   return run_benchmarks(argc, argv);

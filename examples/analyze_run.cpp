@@ -1,0 +1,213 @@
+// Critical-path analyzer CLI: profile a frame, diff runs, gate benches.
+//
+// Modes:
+//
+//   ./analyze_run [--ranks N] [--degrade R] [--dead R] [--top N]
+//                 [--json out.json]
+//       Demo: renders one seeded faulty + stealing model frame (default
+//       4096 ranks, 1120^3 / 1600^2, 2% dead + 20% degraded at 4x, seed
+//       42), prints the critical path, bottleneck attribution, and
+//       reconstructed lanes; --json also writes the frame profile JSON.
+//
+//   ./analyze_run --diff base.json other.json
+//       A/B diff of two bench dumps: per-row seconds deltas and per-bucket
+//       profile deltas. Informational; always exits 0 on valid input.
+//
+//   ./analyze_run --gate baseline.json fresh.json [--rel-tol F]
+//       CI perf gate: fails (exit 1) when fresh regressed beyond tolerance
+//       against the committed baseline, naming the offending row/bucket.
+//
+//   ./analyze_run --scaling bench.json [--prefix fig5/1120^3/]
+//       Strong-scaling decomposition of a proc sweep: efficiency loss
+//       split into I/O vs render imbalance vs communication.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pvr.hpp"
+
+namespace {
+
+using pvr::profile::BenchProfile;
+using pvr::profile::BenchRun;
+
+/// Lifts a parsed profile section entry back into integer picoseconds so
+/// the diff machinery can treat it like a live attribution.
+pvr::profile::Attribution to_attribution(const BenchProfile& prof) {
+  pvr::profile::Attribution attr;
+  for (int b = 0; b < pvr::profile::kNumBuckets; ++b) {
+    attr.add(pvr::profile::Bucket(b),
+             pvr::profile::to_picos(prof.bucket_seconds[std::size_t(b)]));
+  }
+  return attr;
+}
+
+int run_demo(std::int64_t ranks, double degrade_rate, double dead_rate,
+             int top_n, const std::string& json_path) {
+  pvr::core::ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = pvr::format::supernova_desc(pvr::format::FileFormat::kRaw,
+                                            1120);
+  cfg.variable = cfg.dataset.variables.front();
+  cfg.image_width = cfg.image_height = 1600;
+  cfg.composite.policy = pvr::compose::CompositorPolicy::kImproved;
+  cfg.steal.policy = pvr::steal::StealPolicy::kScanlineChunks;
+
+  pvr::core::ParallelVolumeRenderer renderer(cfg);
+  pvr::fault::FaultSpec spec;
+  spec.seed = 42;
+  spec.node_fail_rate = dead_rate;
+  spec.compute_degrade_rate = degrade_rate;
+  spec.compute_degrade_factor = 4.0;
+  const pvr::fault::FaultPlan plan =
+      pvr::fault::FaultPlan::generate(renderer.partition(), cfg.storage, spec);
+
+  pvr::obs::Tracer tracer;
+  renderer.set_tracer(&tracer);
+  const pvr::core::FrameStats stats = renderer.model_frame_with_faults(plan);
+
+  const pvr::profile::Profile profile = pvr::profile::analyze(tracer);
+  const pvr::profile::FrameProfile& frame = profile.frames.front();
+  std::printf("%s\n",
+              pvr::profile::report(tracer, frame, top_n).c_str());
+  std::printf(
+      "frame %.9f s | critical path %.9f s over %zu slices | "
+      "buckets sum %.9f s\n",
+      stats.total_seconds(), frame.critical_seconds(),
+      frame.critical_path.size(), frame.attribution.total_seconds());
+  if (!json_path.empty()) {
+    pvr::obs::write_text_file(json_path,
+                              pvr::profile::to_json(tracer, frame));
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int run_diff(const std::string& base_path, const std::string& other_path) {
+  const BenchRun base = pvr::profile::load_bench_run(base_path);
+  const BenchRun other = pvr::profile::load_bench_run(other_path);
+
+  pvr::TextTable rows("Row deltas (other - base), seconds");
+  rows.set_header({"row", "base_s", "other_s", "delta_s"});
+  for (const pvr::profile::BenchRow& b : base.rows) {
+    const pvr::profile::BenchRow* o = other.row(b.name);
+    if (o == nullptr) {
+      rows.add_row({b.name, pvr::fmt_f(b.seconds, 6), "(missing)", "-"});
+      continue;
+    }
+    rows.add_row({b.name, pvr::fmt_f(b.seconds, 6),
+                  pvr::fmt_f(o->seconds, 6),
+                  pvr::fmt_f(o->seconds - b.seconds, 6)});
+  }
+  for (const pvr::profile::BenchRow& o : other.rows) {
+    if (base.row(o.name) == nullptr) {
+      rows.add_row({o.name, "(missing)", pvr::fmt_f(o.seconds, 6), "-"});
+    }
+  }
+  rows.print();
+
+  for (const BenchProfile& bp : base.profiles) {
+    const BenchProfile* op = other.profile(bp.label);
+    if (op == nullptr) {
+      std::printf("\nprofile %s: missing from %s\n", bp.label.c_str(),
+                  other_path.c_str());
+      continue;
+    }
+    const pvr::profile::ProfileDiff diff =
+        diff_profiles(to_attribution(bp), to_attribution(*op));
+    std::printf("\nprofile %s:\n%s", bp.label.c_str(),
+                pvr::profile::report(diff).c_str());
+  }
+  return 0;
+}
+
+int run_gate(const std::string& baseline_path, const std::string& fresh_path,
+             double rel_tol) {
+  pvr::profile::GateConfig config;
+  if (rel_tol > 0.0) config.rel_tol = rel_tol;
+  const BenchRun baseline = pvr::profile::load_bench_run(baseline_path);
+  const BenchRun fresh = pvr::profile::load_bench_run(fresh_path);
+  const pvr::profile::GateResult result =
+      perf_gate(baseline, fresh, config);
+  std::printf("%s: baseline %s vs fresh %s (rel_tol %.3f)\n%s",
+              baseline.bench.c_str(), baseline_path.c_str(),
+              fresh_path.c_str(), config.rel_tol,
+              pvr::profile::report(result).c_str());
+  return result.passed() ? 0 : 1;
+}
+
+int run_scaling(const std::string& path, const std::string& prefix) {
+  const BenchRun run = pvr::profile::load_bench_run(path);
+  const auto points = pvr::profile::extract_scaling(run, prefix);
+  const auto losses = pvr::profile::scaling_decomposition(points);
+  std::printf("%s", pvr::profile::report(losses).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string mode = "demo";
+  std::vector<std::string> files;
+  std::int64_t ranks = 4096;
+  double degrade = 0.2, dead = 0.02, rel_tol = 0.0;
+  int top_n = 10;
+  std::string json_path, prefix = "fig5/1120^3/";
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "analyze_run: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--diff" || a == "--gate" || a == "--scaling") {
+      mode = a.substr(2);
+    } else if (a == "--ranks") {
+      ranks = std::atoll(next().c_str());
+    } else if (a == "--degrade") {
+      degrade = std::atof(next().c_str());
+    } else if (a == "--dead") {
+      dead = std::atof(next().c_str());
+    } else if (a == "--top") {
+      top_n = std::atoi(next().c_str());
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--rel-tol") {
+      rel_tol = std::atof(next().c_str());
+    } else if (a == "--prefix") {
+      prefix = next();
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "analyze_run: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  try {
+    if (mode == "demo") return run_demo(ranks, degrade, dead, top_n, json_path);
+    if (mode == "scaling") {
+      if (files.size() != 1) {
+        std::fprintf(stderr, "analyze_run: --scaling needs one file\n");
+        return 2;
+      }
+      return run_scaling(files[0], prefix);
+    }
+    if (files.size() != 2) {
+      std::fprintf(stderr, "analyze_run: --%s needs two files\n",
+                   mode.c_str());
+      return 2;
+    }
+    return mode == "diff" ? run_diff(files[0], files[1])
+                          : run_gate(files[0], files[1], rel_tol);
+  } catch (const pvr::Error& e) {
+    std::fprintf(stderr, "analyze_run: %s\n", e.what());
+    return 2;
+  }
+}

@@ -35,12 +35,22 @@ int main(int argc, char** argv) {
   pvr::obs::write_metrics_json(tracer.metrics(), out_dir + "/metrics.json");
 
   std::printf("%s\n", pvr::obs::report(tracer).c_str());
+
+  // Critical path + bottleneck attribution (src/profile): where the frame's
+  // time actually went, and which spans bound it.
+  const pvr::profile::Profile profile = pvr::profile::analyze(tracer);
+  std::printf("%s\n",
+              pvr::profile::report(tracer, profile.frames.front()).c_str());
   std::printf(
       "frame: %.3f s (io %.3f, render %.3f, composite %.3f); "
       "trace covers %.1f%% in %lld spans\n",
       stats.total_seconds(), stats.io_seconds, stats.render_seconds,
       stats.composite_seconds, 100.0 * stats.trace.coverage(),
       static_cast<long long>(stats.trace.spans));
+  std::printf("critical path: %.9f s over %zu slices (frame %.9f s)\n",
+              profile.frames.front().critical_seconds(),
+              profile.frames.front().critical_path.size(),
+              profile.frames.front().frame_seconds);
   std::printf("wrote %s/trace.json and %s/metrics.json\n", out_dir.c_str(),
               out_dir.c_str());
   return 0;

@@ -348,12 +348,15 @@ FrameStats ParallelVolumeRenderer::model_frame() {
         stats.render.max_rank_samples = sched.max_rank_samples_after;
         stats.render.seconds = sched.worst_after_seconds *
                                (1.0 + config_.machine.render_imbalance);
+        stats.render.straggler_rank = sched.worst_after_rank;
       }
     }
     stats.render_seconds = stats.render.seconds + stats.steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      stage.arg("ranks", double(config_.num_ranks));
+      stage.arg("straggler_rank", double(stats.render.straggler_rank));
       tracer_->advance(stats.render.seconds);
     }
   }
@@ -447,12 +450,15 @@ FrameStats ParallelVolumeRenderer::model_frame_with_faults(
         stats.render.max_rank_samples = sched.max_rank_samples_after;
         stats.render.seconds = sched.worst_after_seconds *
                                (1.0 + config_.machine.render_imbalance);
+        stats.render.straggler_rank = sched.worst_after_rank;
       }
     }
     stats.render_seconds = stats.render.seconds + stats.steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      stage.arg("ranks", double(config_.num_ranks));
+      stage.arg("straggler_rank", double(stats.render.straggler_rank));
       tracer_->advance(stats.render.seconds);
     }
   }
@@ -651,8 +657,10 @@ void ParallelVolumeRenderer::execute_render_and_composite(
     const render::RenderModel rmodel(config_.machine);
     stats->render.total_samples = 0;
     for (const auto& s : subimages) stats->render.total_samples += s.samples;
-    stats->render.max_rank_samples =
-        *std::max_element(rank_samples.begin(), rank_samples.end());
+    const auto worst =
+        std::max_element(rank_samples.begin(), rank_samples.end());
+    stats->render.max_rank_samples = *worst;
+    stats->render.straggler_rank = worst - rank_samples.begin();
     // Execute mode charges the *actual* straggler's samples (measured load
     // imbalance), so no modeled imbalance factor is applied.
     stats->render.seconds =
@@ -661,6 +669,8 @@ void ParallelVolumeRenderer::execute_render_and_composite(
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats->render.total_samples));
       stage.arg("max_rank_samples", double(stats->render.max_rank_samples));
+      stage.arg("ranks", double(config_.num_ranks));
+      stage.arg("straggler_rank", double(stats->render.straggler_rank));
       tracer_->advance(stats->render.seconds);
     }
   }
@@ -716,12 +726,15 @@ FrameStats ParallelVolumeRenderer::model_insitu_frame() {
         stats.render.max_rank_samples = sched.max_rank_samples_after;
         stats.render.seconds = sched.worst_after_seconds *
                                (1.0 + config_.machine.render_imbalance);
+        stats.render.straggler_rank = sched.worst_after_rank;
       }
     }
     stats.render_seconds = stats.render.seconds + stats.steal.steal_seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      stage.arg("ranks", double(config_.num_ranks));
+      stage.arg("straggler_rank", double(stats.render.straggler_rank));
       tracer_->advance(stats.render.seconds);
     }
   }
@@ -779,14 +792,18 @@ FrameStats ParallelVolumeRenderer::execute_frame_bivariate(
     }
     const render::RenderModel rmodel(config_.machine);
     for (const auto& s : subimages) stats.render.total_samples += s.samples;
-    stats.render.max_rank_samples =
-        *std::max_element(rank_samples.begin(), rank_samples.end());
+    const auto worst =
+        std::max_element(rank_samples.begin(), rank_samples.end());
+    stats.render.max_rank_samples = *worst;
+    stats.render.straggler_rank = worst - rank_samples.begin();
     stats.render.seconds =
         rmodel.seconds_for_samples(stats.render.max_rank_samples);
     stats.render_seconds = stats.render.seconds;
     if (tracer_ != nullptr) {
       stage.arg("total_samples", double(stats.render.total_samples));
       stage.arg("max_rank_samples", double(stats.render.max_rank_samples));
+      stage.arg("ranks", double(config_.num_ranks));
+      stage.arg("straggler_rank", double(stats.render.straggler_rank));
       tracer_->advance(stats.render_seconds);
     }
   }

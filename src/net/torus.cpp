@@ -289,7 +289,10 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
     const double bytes = double(total.link_bytes[i]);
     const double avg_msg = bytes / double(total.link_msgs[i]);
     const double bw = cfg.torus_link_bw * message_efficiency(avg_msg);
-    worst_link = std::max(worst_link, bytes / bw);
+    if (bytes / bw > worst_link) {  // strict: lowest link id wins ties
+      worst_link = bytes / bw;
+      cost.bottleneck_link = std::int64_t(i);
+    }
     busiest_link_bytes = std::max(busiest_link_bytes, bytes);
     if (metrics != nullptr) {
       metrics->indexed("net.link_bytes")
@@ -314,7 +317,8 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
   // before the round can close (BSP).
   double worst_endpoint = 0.0;
   const double local_copy_bw = 4.0 * cfg.torus_link_bw;
-  for (const NodeLoad& nl : total.node) {
+  for (std::size_t node_id = 0; node_id < total.node.size(); ++node_id) {
+    const NodeLoad& nl = total.node[node_id];
     const bool hot = double(nl.recv_msgs) > cfg.hotspot_indegree;
     const double hot_factor = hot ? cfg.hotspot_factor : 1.0;
     const double msg_cost = cfg.msg_overhead * cost.congestion_factor *
@@ -324,7 +328,11 @@ ExchangeCost TorusModel::exchange(std::span<const Transfer> transfers,
         double(nl.send_bytes + nl.recv_bytes) / cfg.torus_link_bw +
         double(nl.local_bytes) / local_copy_bw;
     const double retry_seconds = double(nl.failed_sends) * retry_penalty;
-    worst_endpoint = std::max(worst_endpoint, msg_cost + wire + retry_seconds);
+    const double endpoint = msg_cost + wire + retry_seconds;
+    if (endpoint > worst_endpoint) {  // strict: lowest node id wins ties
+      worst_endpoint = endpoint;
+      cost.bottleneck_node = std::int64_t(node_id);
+    }
     cost.retry_seconds = std::max(cost.retry_seconds, retry_seconds);
   }
   cost.endpoint_seconds = worst_endpoint;

@@ -32,6 +32,11 @@ struct ExchangeCost {
   /// Worst per-node stall spent retrying undeliverable sends (fault-aware
   /// exchanges only; folded into endpoint_seconds).
   double retry_seconds = 0.0;
+  /// Link with the worst serialization time and node with the worst endpoint
+  /// time (strict argmax, lowest index wins ties; -1 when nothing moved).
+  /// Attached to exchange spans so the profiler can name the bottleneck.
+  std::int64_t bottleneck_link = -1;
+  std::int64_t bottleneck_node = -1;
 
   /// Aggregate payload bandwidth of the round, bytes/second.
   double bandwidth() const {

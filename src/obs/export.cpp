@@ -56,20 +56,61 @@ void append_args(std::string* out,
   *out += '}';
 }
 
+/// Perfetto lane assignment: pid groups events by the rank that bounds them
+/// (the emitting layer's "straggler_rank" arg; pid 0 is the global lane for
+/// collective phases), tid separates stage categories within a rank.
+std::int64_t event_pid(const std::vector<std::pair<std::string, double>>& args) {
+  for (const auto& [key, value] : args) {
+    if (key == "straggler_rank" && value >= 0.0) {
+      return std::int64_t(value) + 1;
+    }
+  }
+  return 0;
+}
+
+std::int64_t event_tid(Category cat) { return std::int64_t(cat); }
+
 }  // namespace
 
 std::string to_chrome_trace_json(const Tracer& tracer) {
+  // Metadata pass: name every (pid, tid) lane the events will use, so
+  // Perfetto groups per-rank lanes instead of one flat track. std::map keeps
+  // the metadata block deterministic.
+  std::map<std::int64_t, std::map<std::int64_t, Category>> lanes;
+  for (const Span& s : tracer.spans()) {
+    lanes[event_pid(s.args)][event_tid(s.cat)] = s.cat;
+  }
+  for (const Instant& e : tracer.instants()) {
+    lanes[event_pid(e.args)][event_tid(e.cat)] = e.cat;
+  }
+
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   const auto sep = [&] {
     if (!first) out += ",\n";
     first = false;
   };
+  for (const auto& [pid, tids] : lanes) {
+    sep();
+    const std::string pname =
+        pid == 0 ? "global" : "rank " + std::to_string(pid - 1);
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) +
+           ",\"tid\":0,\"args\":{\"name\":\"" + pname + "\"}}";
+    for (const auto& [tid, cat] : tids) {
+      sep();
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+             ",\"args\":{\"name\":\"" + to_string(cat) + "\"}}";
+    }
+  }
   for (const Span& s : tracer.spans()) {
     sep();
     out += "{\"name\":\"" + json_escape(s.name) + "\",\"cat\":\"";
     out += to_string(s.cat);
-    out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":" + fmt_us(s.start) +
+    out += "\",\"ph\":\"X\",\"pid\":" + std::to_string(event_pid(s.args)) +
+           ",\"tid\":" + std::to_string(event_tid(s.cat)) +
+           ",\"ts\":" + fmt_us(s.start) +
            ",\"dur\":" + fmt_us(s.seconds()) + ",";
     append_args(&out, s.args);
     out += '}';
@@ -78,8 +119,10 @@ std::string to_chrome_trace_json(const Tracer& tracer) {
     sep();
     out += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"";
     out += to_string(e.cat);
-    out += "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":" +
-           fmt_us(e.time) + ",";
+    out += "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":" +
+           std::to_string(event_pid(e.args)) +
+           ",\"tid\":" + std::to_string(event_tid(e.cat)) +
+           ",\"ts\":" + fmt_us(e.time) + ",";
     append_args(&out, e.args);
     out += '}';
   }

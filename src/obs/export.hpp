@@ -3,8 +3,10 @@
 //   * to_chrome_trace_json — Chrome trace_event JSON ("traceEvents" array of
 //     complete "X" spans and instant "i" events); loads directly in Perfetto
 //     (ui.perfetto.dev) or chrome://tracing. Timestamps are simulated
-//     microseconds; thread id encodes span depth so nesting renders as a
-//     flame graph.
+//     microseconds. Leading "M" metadata events name the lanes: pid groups
+//     events by bounding rank (pid 0 = "global", pid r+1 = "rank r", from
+//     the straggler_rank span arg) and tid separates stage categories, so
+//     Perfetto shows the same per-rank lanes profile::analyze reconstructs.
 //   * to_metrics_json — flat JSON of every counter/gauge/histogram/indexed
 //     counter in name order.
 //   * report — human-readable table: per-category time, top-N slowest leaf

@@ -11,6 +11,7 @@
 //   pvr::fault     — deterministic fault injection, plans and timelines
 //   pvr::steal     — deterministic render-stage work-stealing schedules
 //   pvr::obs       — simulated-clock tracing, metrics, trace/metric export
+//   pvr::profile   — critical path, bottleneck attribution, perf gating
 //   pvr::runtime   — superstep rank runtime (execute & model modes)
 //   pvr::net       — torus and tree network models
 //   pvr::machine   — Blue Gene/P machine description and partitions
@@ -48,6 +49,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
+#include "profile/diff.hpp"
+#include "profile/json.hpp"
+#include "profile/profile.hpp"
 #include "render/camera.hpp"
 #include "render/decomposition.hpp"
 #include "render/raycaster.hpp"

@@ -82,8 +82,11 @@ RenderEstimate RenderModel::estimate_degraded(
     const double slowdown =
         rank_slowdown == nullptr ? 1.0 : rank_slowdown(std::int64_t(r));
     if (!(slowdown > 0.0)) continue;  // dead ranks are not stragglers
-    worst_weighted =
-        std::max(worst_weighted, double(rank_samples[r]) * slowdown);
+    const double weighted = double(rank_samples[r]) * slowdown;
+    if (weighted > worst_weighted) {  // strict: lowest rank wins ties
+      worst_weighted = weighted;
+      est.straggler_rank = std::int64_t(r);
+    }
   }
   est.seconds = worst_weighted / cfg_->samples_per_second *
                 (1.0 + cfg_->render_imbalance);

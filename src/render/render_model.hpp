@@ -29,6 +29,9 @@ struct RenderEstimate {
   std::int64_t total_samples = 0;
   std::int64_t max_rank_samples = 0;
   double seconds = 0.0;  ///< modeled BSP render-phase time
+  /// Rank whose (slowdown-weighted) time bounds the phase; lowest rank wins
+  /// ties, -1 when nothing renders. Feeds the profiler's per-rank lanes.
+  std::int64_t straggler_rank = -1;
 };
 
 class RenderModel {

@@ -87,6 +87,8 @@ net::ExchangeCost Runtime::exchange_messages_impl(std::vector<Message> messages,
     span.arg("endpoint_seconds", cost.endpoint_seconds);
     span.arg("latency_seconds", cost.latency_seconds);
     span.arg("skew_seconds", cost.skew_seconds);
+    span.arg("bottleneck_link", double(cost.bottleneck_link));
+    span.arg("bottleneck_node", double(cost.bottleneck_node));
     if (overlapped) span.arg("overlapped", 1.0);
     if (fault_stats_ != nullptr) {
       // Per-round recovery deltas: what this exchange spent on faults.
@@ -158,14 +160,19 @@ net::ExchangeCost Runtime::exchange_messages_impl(std::vector<Message> messages,
 double Runtime::compute(const std::function<double(std::int64_t)>& body) {
   obs::ScopedSpan span(tracer_, "compute", obs::Category::kCompute);
   double worst = 0.0;
+  std::int64_t worst_rank = -1;
   for (std::int64_t r = 0; r < num_ranks(); ++r) {
     const double t = body(r);
     PVR_ASSERT(t >= 0.0);
-    worst = std::max(worst, t);
+    if (t > worst) {  // strict: lowest rank wins ties
+      worst = t;
+      worst_rank = r;
+    }
   }
   ledger_.compute += worst;
   if (tracer_ != nullptr) {
     span.arg("ranks", double(num_ranks()));
+    span.arg("straggler_rank", double(worst_rank));
     tracer_->advance(worst);
   }
   return worst;

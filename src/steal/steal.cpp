@@ -240,14 +240,19 @@ StealSchedule StealPlanner::plan(
   }
 
   double worst_after = 0.0;
+  std::int64_t worst_after_rank = -1;
   std::int64_t max_samples_after = 0;
   for (std::int64_t r = 0; r < num_ranks; ++r) {
     if (!live[std::size_t(r)]) continue;
-    worst_after = std::max(worst_after, t[std::size_t(r)]);
+    if (t[std::size_t(r)] > worst_after) {  // strict: lowest rank wins ties
+      worst_after = t[std::size_t(r)];
+      worst_after_rank = r;
+    }
     max_samples_after =
         std::max(max_samples_after, rank_samples[std::size_t(r)]);
   }
   sched.worst_after_seconds = worst_after;
+  sched.worst_after_rank = worst_after_rank;
   sched.straggler_after =
       ideal_seconds > 0.0 ? worst_after / ideal_seconds : 1.0;
   sched.max_rank_samples_after = max_samples_after;

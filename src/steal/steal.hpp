@@ -97,6 +97,9 @@ struct StealSchedule {
   /// Worst live rank's weighted seconds (no imbalance factor applied).
   double worst_before_seconds = 0.0;
   double worst_after_seconds = 0.0;
+  /// Rank that bounds the render phase after the schedule (lowest rank wins
+  /// ties, -1 when nothing renders). Feeds the profiler's per-rank lanes.
+  std::int64_t worst_after_rank = -1;
   /// Raw straggler sample count after the schedule (render-cost attribution:
   /// stolen chunks land on the thief).
   std::int64_t max_rank_samples_after = 0;
