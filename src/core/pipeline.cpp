@@ -671,7 +671,31 @@ void ParallelVolumeRenderer::execute_render_and_composite(
       stage.arg("max_rank_samples", double(stats->render.max_rank_samples));
       stage.arg("ranks", double(config_.num_ranks));
       stage.arg("straggler_rank", double(stats->render.straggler_rank));
-      tracer_->advance(stats->render.seconds);
+      // The raycast kernel's execution is a kCompute child span covering
+      // the balanced share of the stage (average rank load / straggler
+      // load); the remainder — the straggler's excess — stays on
+      // stage.render's self time, which attribution books as skew. The
+      // kRender rule accounts for compute children, so the frame's compute
+      // bucket is the same as before the span existed.
+      double balanced = 1.0;
+      if (config_.num_ranks > 0 && stats->render.max_rank_samples > 0) {
+        balanced = std::clamp(double(stats->render.total_samples) /
+                                  (double(config_.num_ranks) *
+                                   double(stats->render.max_rank_samples)),
+                              0.0, 1.0);
+      }
+      const double kernel_seconds = stats->render.seconds * balanced;
+      {
+        obs::ScopedSpan kernel(tracer_, "render.kernel",
+                               obs::Category::kCompute);
+        kernel.arg("simd",
+                   config_.render.kernel == render::RaycastKernel::kSimd
+                       ? 1.0
+                       : 0.0);
+        kernel.arg("samples", double(stats->render.total_samples));
+        tracer_->advance(kernel_seconds);
+      }
+      tracer_->advance(stats->render.seconds - kernel_seconds);
     }
   }
 

@@ -237,7 +237,8 @@ std::string report(const Tracer& tracer, int top_n) {
     slow.add_row({s.name, to_string(s.cat), fmt_f(s.start, 6),
                   fmt_f(s.seconds(), 6)});
   }
-  out += "\n" + slow.str();
+  out += '\n';
+  out += slow.str();
 
   // --- Hot entries of every indexed counter (links, ranks, servers).
   for (const auto& [name, ic] : tracer.metrics().indexed_counters()) {
@@ -255,7 +256,10 @@ std::string report(const Tracer& tracer, int top_n) {
       hot.add_row({std::to_string(entries[i].first),
                    std::to_string(entries[i].second)});
     }
-    out += "\n" + hot.str();
+    // += in two steps: the `"literal" + std::string&&` concatenation trips
+    // a GCC 12 -Wrestrict false positive at some -march levels.
+    out += '\n';
+    out += hot.str();
   }
   return out;
 }

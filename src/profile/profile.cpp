@@ -49,8 +49,13 @@ Forced forced_of(Category cat, Forced inherited) {
 
 /// Splits one self-time slice into buckets (ordered first-match rule; see
 /// Bucket docs) and returns the largest share's bucket for labeling.
-Bucket attribute_slice(const Span& span, Picos self_ps, Forced forced,
-                       Attribution* out) {
+/// `compute_child_ps` is the duration of the span's direct kCompute
+/// children (e.g. the render.kernel span under stage.render): those
+/// picoseconds are already booked as compute by the children themselves,
+/// so split rules that target a compute share of the whole stage subtract
+/// them from what this slice still owes.
+Bucket attribute_slice(const Span& span, Picos self_ps, Picos compute_child_ps,
+                       Forced forced, Attribution* out) {
   if (forced == Forced::kCheckpoint) {
     out->add(Bucket::kCheckpoint, self_ps);
     return Bucket::kCheckpoint;
@@ -113,8 +118,14 @@ Bucket attribute_slice(const Span& span, Picos self_ps, Forced forced,
         out->add(Bucket::kCompute, self_ps);
         return Bucket::kCompute;
       }
+      // The stage's compute share is balanced * (self + compute children);
+      // the children already booked their own picoseconds as kCompute, so
+      // this slice owes only the difference. With no compute children this
+      // is exactly balanced * self (the pre-kernel-span behavior).
       const Picos compute_ps = std::clamp<Picos>(
-          std::llround(balanced * double(self_ps)), 0, self_ps);
+          std::llround(balanced * double(self_ps + compute_child_ps)) -
+              compute_child_ps,
+          0, self_ps);
       const Picos skew_ps = self_ps - compute_ps;
       out->add(Bucket::kCompute, compute_ps);
       out->add(Bucket::kSkew, skew_ps);
@@ -166,11 +177,17 @@ Attribution attribute_subtree(const Tracer& tracer, Tracer::SpanId root,
     }
   }
 
-  // Children duration sums (picoseconds) for self-time extraction.
+  // Children duration sums (picoseconds) for self-time extraction, plus
+  // the kCompute-children sums the kRender split rule needs.
   std::vector<Picos> child_ps(n, 0);
+  std::vector<Picos> compute_child_ps(n, 0);
   for (std::size_t i = first + 1; i < n; ++i) {
     if (in_tree[i] != 0 && spans[i].parent >= 0) {
       child_ps[std::size_t(spans[i].parent)] += span_ps(spans[i]);
+      if (spans[i].cat == Category::kCompute &&
+          forced[i] == Forced::kNone) {
+        compute_child_ps[std::size_t(spans[i].parent)] += span_ps(spans[i]);
+      }
     }
   }
 
@@ -190,7 +207,8 @@ Attribution attribute_subtree(const Tracer& tracer, Tracer::SpanId root,
     if (in_tree[i] == 0) continue;
     const Span& s = spans[i];
     const Picos self = span_ps(s) - child_ps[i];
-    const Bucket bucket = attribute_slice(s, self, forced[i], &attribution);
+    const Bucket bucket =
+        attribute_slice(s, self, compute_child_ps[i], forced[i], &attribution);
     if (slices != nullptr && self != 0) {
       Slice slice;
       slice.span = std::int32_t(i);
@@ -305,7 +323,10 @@ std::string report(const obs::Tracer& tracer, const FrameProfile& profile,
                   fmt_f(to_seconds(slice.self_ps), 6),
                   fmt_f(slice.slack_seconds, 6)});
   }
-  out += "\n" + path.str();
+  // += in two steps: the `"literal" + std::string&&` concatenation trips
+  // a GCC 12 -Wrestrict false positive at some -march levels.
+  out += '\n';
+  out += path.str();
 
   TextTable lanes("Timeline lanes (rank -1 = global)");
   lanes.set_header({"rank", "category", "spans", "seconds"});
@@ -314,7 +335,8 @@ std::string report(const obs::Tracer& tracer, const FrameProfile& profile,
                    std::to_string(lane.spans.size()),
                    fmt_f(lane.seconds(), 6)});
   }
-  out += "\n" + lanes.str();
+  out += '\n';
+  out += lanes.str();
   return out;
 }
 

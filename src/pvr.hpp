@@ -56,6 +56,7 @@
 #include "render/decomposition.hpp"
 #include "render/raycaster.hpp"
 #include "render/render_model.hpp"
+#include "render/simd/vec8.hpp"
 #include "render/transfer_function.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/clock.hpp"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "render/simd/packet_kernel.hpp"
+#include "render/simd/tf_lut.hpp"
 #include "util/error.hpp"
 
 namespace pvr::render {
@@ -24,9 +26,13 @@ Raycaster::Raycaster(const Vec3i& volume_dims, RenderConfig config)
               "volume dims must be positive");
   PVR_REQUIRE(config_.step_voxels > 0, "step must be positive");
   PVR_REQUIRE(config_.value_hi > config_.value_lo, "bad value range");
+  PVR_REQUIRE(config_.tile_w > 0 && config_.tile_h > 0,
+              "cache tile dims must be positive");
   h_ = voxel_size(dims_);
   inv_h_ = 1.0 / h_;
   step_world_ = config_.step_voxels * h_;
+  value_scale_ = 1.0f / (config_.value_hi - config_.value_lo);
+  value_bias_ = -config_.value_lo * value_scale_;
 }
 
 float Raycaster::sample_world(const Brick& brick, const Vec3d& world) const {
@@ -98,7 +104,6 @@ Rgba Raycaster::integrate_ray(const Brick& brick, const Box3d& region_world,
       0, std::int64_t(std::floor((reg_enter - t0) / dt)) - 1);
   const std::int64_t k_end = std::int64_t(std::ceil((reg_exit - t0) / dt)) + 1;
 
-  const float inv_range = 1.0f / (config_.value_hi - config_.value_lo);
   const float step = float(config_.step_voxels);
   Rgba acc = kTransparent;
   for (; k <= k_end; ++k) {
@@ -112,7 +117,7 @@ Rgba Raycaster::integrate_ray(const Brick& brick, const Box3d& region_world,
       continue;
     }
     const float raw = sample_world(brick, p);
-    const float v = (raw - config_.value_lo) * inv_range;
+    const float v = raw * value_scale_ + value_bias_;
     acc.blend_under(tf.sample(v, step));
     ++*samples;
     if (acc.a >= float(config_.early_termination)) break;
@@ -148,11 +153,38 @@ void Raycaster::render_rect(const Brick& brick, const Box3d& region,
   // Scanline chunks: each chunk writes a disjoint row range of out->pixels
   // and tallies its own sample count; rays are independent, so any thread
   // count produces identical pixels, and the chunk-ordered sample merge is
-  // exact.
+  // exact. Both kernels march the same global lattice with the same
+  // per-ray arithmetic, so kScalar and kSimd pixels and sample counts are
+  // bitwise identical (simd_test pins this).
   const std::int64_t rows = out->rect.y1 - out->rect.y0;
   const std::size_t width = std::size_t(out->rect.x1 - out->rect.x0);
   std::vector<std::int64_t> chunk_samples(
       std::size_t(par::plan_chunks(rows).count), 0);
+  if (config_.kernel == RaycastKernel::kSimd) {
+    const simd::TfLut lut(tf, float(config_.step_voxels));
+    simd::KernelParams kp;
+    kp.brick = &brick;
+    kp.camera = &camera;
+    kp.lut = &lut;
+    kp.region = region;
+    kp.vol = world_box(dims_);
+    kp.region_is_volume = region_is_volume;
+    kp.dt = step_world_;
+    kp.inv_h = inv_h_;
+    kp.value_scale = value_scale_;
+    kp.value_bias = value_bias_;
+    kp.early_termination = float(config_.early_termination);
+    kp.tile_w = config_.tile_w;
+    kp.tile_h = config_.tile_h;
+    par::parallel_for(
+        pool, rows, /*min_grain=*/1,
+        [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t chunk) {
+          chunk_samples[std::size_t(chunk)] = simd::render_rows(
+              kp, out->rect, row_begin, row_end, out->pixels.data());
+        });
+    out->samples = merge_samples(chunk_samples);
+    return;
+  }
   par::parallel_for(
       pool, rows, /*min_grain=*/1,
       [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t chunk) {
@@ -228,7 +260,6 @@ SubImage Raycaster::render_block_bivariate(
       {region.center().x, region.center().y, region.center().z});
   out.pixels.assign(std::size_t(out.rect.pixel_count()), kTransparent);
 
-  const float inv_range = 1.0f / (config_.value_hi - config_.value_lo);
   const float step = float(config_.step_voxels);
   const double dt = step_world_;
   const std::int64_t rows = out.rect.y1 - out.rect.y0;
@@ -270,11 +301,9 @@ SubImage Raycaster::render_block_bivariate(
                 continue;
               }
               const float cv =
-                  (sample_world(color_brick, p) - config_.value_lo) *
-                  inv_range;
+                  sample_world(color_brick, p) * value_scale_ + value_bias_;
               const float ov =
-                  (sample_world(opacity_brick, p) - config_.value_lo) *
-                  inv_range;
+                  sample_world(opacity_brick, p) * value_scale_ + value_bias_;
               acc.blend_under(tf.sample(cv, ov, step));
               ++samples;
               if (acc.a >= float(config_.early_termination)) break;
@@ -289,26 +318,20 @@ SubImage Raycaster::render_block_bivariate(
 }
 
 Image Raycaster::render_full(const Brick& brick, const Camera& camera,
-                             const TransferFunction& tf,
-                             par::ThreadPool* pool) const {
+                             const TransferFunction& tf, par::ThreadPool* pool,
+                             std::int64_t* samples) const {
   const Box3i whole{{0, 0, 0}, dims_};
   PVR_REQUIRE(brick.box() == whole, "full render needs the whole volume");
-  const Box3d region = world_box(dims_);
+  // Render through render_rect so the serial reference shares the kernel
+  // dispatch and reports real sample tallies (the whole-image lattice count,
+  // which equals the sum over any block decomposition of the same volume).
+  SubImage sub;
+  sub.rect = Rect{0, 0, camera.width(), camera.height()};
+  render_rect(brick, world_box(dims_), /*region_is_volume=*/true, camera, tf,
+              pool, &sub);
   Image img(camera.width(), camera.height());
-  const std::int64_t rows = camera.height();
-  par::parallel_for(
-      pool, rows, /*min_grain=*/1,
-      [&](std::int64_t row_begin, std::int64_t row_end, std::int64_t) {
-        std::int64_t samples = 0;  // render_full does not report samples
-        for (std::int64_t row = row_begin; row < row_end; ++row) {
-          const int py = int(row);
-          for (int px = 0; px < camera.width(); ++px) {
-            img.at(px, py) = integrate_ray(brick, region, /*region_is_volume=*/
-                                           true, camera.ray(px, py), tf,
-                                           &samples);
-          }
-        }
-      });
+  std::copy(sub.pixels.begin(), sub.pixels.end(), img.pixels().begin());
+  if (samples != nullptr) *samples = sub.samples;
   return img;
 }
 

@@ -18,6 +18,15 @@
 
 namespace pvr::render {
 
+/// Which raycasting kernel renders scanline chunks. Both kernels sample the
+/// same global lattice and produce bitwise-identical pixels and sample
+/// counts (tests pin this); kSimd marches 8-ray packets in lockstep over
+/// cache-blocked pixel tiles (src/render/simd/).
+enum class RaycastKernel {
+  kScalar,  ///< one ray at a time (reference path, the default)
+  kSimd,    ///< 8-wide ray packets, tile-blocked traversal
+};
+
 struct RenderConfig {
   /// Sampling step in voxel units along the ray.
   double step_voxels = 1.0;
@@ -28,6 +37,12 @@ struct RenderConfig {
   /// Values mapped to [0,1] for the transfer function: (v - lo) / (hi - lo).
   float value_lo = 0.0f;
   float value_hi = 1.0f;
+  /// Kernel selection; results are identical, only speed differs.
+  RaycastKernel kernel = RaycastKernel::kScalar;
+  /// Cache-block tile shape (pixels) for the SIMD kernel's depth-
+  /// synchronized traversal; ignored by the scalar kernel.
+  int tile_w = 32;
+  int tile_h = 8;
 };
 
 /// A rendered block subimage: packed pixels over a screen rectangle plus the
@@ -79,10 +94,12 @@ class Raycaster {
                                   par::ThreadPool* pool = nullptr) const;
 
   /// Serial reference: renders the whole volume from a single brick
-  /// covering it, into a full image.
+  /// covering it, into a full image. `samples`, if non-null, receives the
+  /// real per-ray sample tally (equal to the sum of per-block samples of
+  /// any decomposition of the same volume — the lattice partitions).
   Image render_full(const Brick& brick, const Camera& camera,
-                    const TransferFunction& tf,
-                    par::ThreadPool* pool = nullptr) const;
+                    const TransferFunction& tf, par::ThreadPool* pool = nullptr,
+                    std::int64_t* samples = nullptr) const;
 
   /// Trilinear sample of the brick at a world position (voxel-center
   /// convention, edge-clamped at volume borders).
@@ -109,6 +126,10 @@ class Raycaster {
   double step_world_ = 0.0;
   double h_ = 0.0;      ///< voxel size in world units
   double inv_h_ = 0.0;  ///< 1 / h_, hoisted out of the per-sample divide
+  /// Hoisted value normalization: v = raw * value_scale_ + value_bias_
+  /// (one multiply-add per sample instead of subtract + multiply).
+  float value_scale_ = 1.0f;
+  float value_bias_ = 0.0f;
 };
 
 }  // namespace pvr::render

@@ -202,7 +202,9 @@ TEST(ProfileTest, LanesGroupByStragglerRankArg) {
       found_rank5 = true;
       EXPECT_NEAR(lane.seconds(), 2.0, 1e-9);
     }
-    if (lane.cat == obs::Category::kExchange) EXPECT_EQ(lane.rank, -1);
+    if (lane.cat == obs::Category::kExchange) {
+      EXPECT_EQ(lane.rank, -1);
+    }
   }
   EXPECT_TRUE(found_rank5);
 }

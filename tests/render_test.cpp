@@ -292,6 +292,36 @@ TEST(RaycasterTest, LatticeSamplesPartitionAcrossBlocks) {
   EXPECT_EQ(parallel_samples, serial.samples);
 }
 
+TEST(RaycasterTest, RenderFullReportsRealSampleTally) {
+  // render_full reports the same lattice sample count as a whole-volume
+  // render_block and as the sum over a block decomposition (the dead
+  // "does not report samples" tally is gone).
+  const Vec3i dims{24, 24, 24};
+  Brick whole(Box3i{{0, 0, 0}, dims});
+  data::SupernovaField(9).fill_brick(data::Variable::kDensity, dims, &whole);
+  const Raycaster rc(dims, exact_config());
+  const Camera cam = Camera::default_view(dims, 48, 48);
+  const TransferFunction tf = TransferFunction::grayscale_ramp(0.2f);
+
+  std::int64_t full_samples = 0;
+  (void)rc.render_full(whole, cam, tf, nullptr, &full_samples);
+  const SubImage serial =
+      rc.render_block(whole, Box3i{{0, 0, 0}, dims}, cam, tf);
+  EXPECT_GT(full_samples, 0);
+  EXPECT_EQ(full_samples, serial.samples);
+
+  const Decomposition d(dims, 8);
+  std::int64_t block_samples = 0;
+  for (std::int64_t b = 0; b < 8; ++b) {
+    const Box3i owned = d.block_box(b);
+    Brick brick(d.ghost_box(b, 1));
+    data::SupernovaField(9).fill_brick(data::Variable::kDensity, dims,
+                                       &brick);
+    block_samples += rc.render_block(brick, owned, cam, tf).samples;
+  }
+  EXPECT_EQ(full_samples, block_samples);
+}
+
 TEST(RenderModelTest, SampleEstimateMatchesActualWithinFactor) {
   const Vec3i dims{32, 32, 32};
   Brick whole(Box3i{{0, 0, 0}, dims});
