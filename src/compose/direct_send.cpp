@@ -56,8 +56,9 @@ std::int64_t DirectSendCompositor::compositor_count() const {
 }
 
 CompositeStats DirectSendCompositor::model(
-    std::span<const BlockScreenInfo> blocks, int width, int height) {
-  return run(blocks, {}, width, height, nullptr);
+    std::span<const BlockScreenInfo> blocks, int width, int height,
+    DirectSendDetail* detail) {
+  return run(blocks, {}, width, height, nullptr, detail);
 }
 
 CompositeStats DirectSendCompositor::execute(
@@ -74,7 +75,7 @@ CompositeStats DirectSendCompositor::execute(
 CompositeStats DirectSendCompositor::run(
     std::span<const BlockScreenInfo> blocks,
     std::span<const render::SubImage> subimages, int width, int height,
-    Image* out) {
+    Image* out, DirectSendDetail* detail) {
   const bool execute = !subimages.empty();
   obs::Tracer* tracer = rt_->tracer();
   obs::ScopedSpan span(tracer, "composite.direct_send",
@@ -127,6 +128,10 @@ CompositeStats DirectSendCompositor::run(
   // Per-compositor-rank blended pixels (for the blend-compute term); with
   // reassigned tiles one rank can blend several tiles' pixels.
   std::vector<std::int64_t> blend_pixels(std::size_t(rt_->num_ranks()), 0);
+  if (detail != nullptr) {
+    detail->blend_pixels.assign(std::size_t(rt_->num_ranks()), 0);
+    detail->sources.assign(std::size_t(rt_->num_ranks()), {});
+  }
 
   std::int64_t scheduled_pixels = 0;
   std::int64_t delivered_pixels = 0;
@@ -149,7 +154,17 @@ CompositeStats DirectSendCompositor::run(
       msg.payload = pack_fragment(sub, s.rect, s.depth);
     }
     blend_pixels[std::size_t(msg.dst_rank)] += s.pixels();
+    if (detail != nullptr) {
+      detail->sources[std::size_t(msg.dst_rank)].push_back(msg.src_rank);
+    }
     messages.push_back(std::move(msg));
+  }
+  if (detail != nullptr) {
+    detail->blend_pixels = blend_pixels;
+    for (std::vector<std::int64_t>& srcs : detail->sources) {
+      std::sort(srcs.begin(), srcs.end());
+      srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+    }
   }
   if (faulty) {
     fold_coverage(PixelTally{scheduled_pixels, delivered_pixels}, fstats);

@@ -46,15 +46,28 @@ struct CompositeStats {
   }
 };
 
+/// Per-rank structure of one modeled direct-send round, for the async task
+/// graph (DESIGN.md §9): which source ranks each destination (compositor)
+/// rank waits on, and how many pixels it blends. Indexed by rank; filled
+/// from the post-fault-filter message set of the same single pricing pass,
+/// so a dead renderer appears in nobody's sources and reassigned tiles land
+/// on their live owner's row.
+struct DirectSendDetail {
+  std::vector<std::int64_t> blend_pixels;          ///< per dst rank
+  std::vector<std::vector<std::int64_t>> sources;  ///< sorted, deduplicated
+};
+
 class DirectSendCompositor {
  public:
   DirectSendCompositor(runtime::Runtime& rt, const CompositeConfig& config);
 
   std::int64_t compositor_count() const;
 
-  /// Model mode: prices the schedule without pixel movement.
+  /// Model mode: prices the schedule without pixel movement. A non-null
+  /// `detail` additionally receives the per-rank message structure; the
+  /// priced stats (and any emitted spans) are identical either way.
   CompositeStats model(std::span<const BlockScreenInfo> blocks, int width,
-                       int height);
+                       int height, DirectSendDetail* detail = nullptr);
 
   /// Execute mode: composites real subimages (one per BlockScreenInfo, same
   /// order). Returns stats; if `out` is non-null the compositor tiles are
@@ -68,7 +81,8 @@ class DirectSendCompositor {
  private:
   CompositeStats run(std::span<const BlockScreenInfo> blocks,
                      std::span<const render::SubImage> subimages, int width,
-                     int height, Image* out);
+                     int height, Image* out,
+                     DirectSendDetail* detail = nullptr);
 
   runtime::Runtime* rt_;
   CompositeConfig config_;

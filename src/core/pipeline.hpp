@@ -40,6 +40,7 @@
 #include "par/thread_pool.hpp"
 #include "render/decomposition.hpp"
 #include "render/render_model.hpp"
+#include "runtime/taskgraph.hpp"
 #include "steal/steal.hpp"
 
 namespace pvr::core {
@@ -67,6 +68,20 @@ struct ExperimentConfig {
   /// degraded nodes. kOff (the default) leaves every frame byte-identical
   /// to the pre-stealing pipeline.
   steal::StealConfig steal;
+  /// Runtime scheduling discipline (DESIGN.md §9). kBsp (the default) runs
+  /// the paper's superstep pipeline: every stage is a global barrier.
+  /// kAsync prices the same frame through the deterministic event-driven
+  /// task graph: stage boundaries become per-rank dependencies, so a
+  /// compositor rank starts blending as soon as its own sources have
+  /// rendered. Model mode only (execute_* always runs the real superstep
+  /// runtime); requires direct-send compositing.
+  runtime::RuntimeMode runtime_mode = runtime::RuntimeMode::kBsp;
+  /// How kAsync chains dependencies. kFree lets every task start when its
+  /// true dependencies are met (skew is reclaimed as overlap); kChained
+  /// inserts the full barrier chain into the graph, which must — and is
+  /// verified to — reproduce the BSP stats, trace, and image byte for
+  /// byte. Ignored under kBsp.
+  runtime::DependencyMode dependency = runtime::DependencyMode::kFree;
   /// Host threads for torus routing, ray casting, and compositing. 0 (the
   /// default) defers to the PVR_THREADS environment variable, else runs
   /// serially. Results are bit-identical for every value (DESIGN.md §8); a
@@ -107,6 +122,12 @@ struct FrameStats {
   /// included in render_seconds — the claim/replication exchanges run
   /// inside the render stage.
   steal::StealStats steal;
+
+  /// Async task-graph accounting (DESIGN.md §9): graph size, the BSP price
+  /// of the same frame, and the seconds reclaimed by overlap. Disabled
+  /// (enabled == false, all zero) for kBsp frames; reclaimed_seconds == 0
+  /// for kChained frames by construction.
+  runtime::OverlapStats async;
 
   /// Trace summary for the frame (span counts, per-stage span seconds,
   /// coverage of the frame span by its stage children). All-zero with
@@ -284,8 +305,26 @@ class ParallelVolumeRenderer {
   runtime::Runtime& execute_rt();
   /// The compositing stage as configured: dispatches on
   /// config().composite.algorithm (direct-send, binary swap, or radix-k).
-  /// Used by every model-mode frame method, healthy or faulty.
-  compose::CompositeStats model_composite_configured();
+  /// Used by every model-mode frame method, healthy or faulty. A non-null
+  /// `detail` (direct-send only) receives the per-rank message structure
+  /// for the async task graph; the priced stats are identical either way.
+  compose::CompositeStats model_composite_configured(
+      compose::DirectSendDetail* detail = nullptr);
+  /// The BSP superstep frame: stage barriers, shared by model_frame /
+  /// model_frame_with_faults (non-empty `plan`) / model_insitu_frame
+  /// (`insitu`). Under RuntimeMode::kAsync + DependencyMode::kChained it
+  /// additionally builds the chained task graph and verifies — exact
+  /// floating-point equality — that the graph's critical-path segments
+  /// reproduce the superstep stage times (fills stats.async).
+  FrameStats model_frame_superstep(const fault::FaultPlan* plan, bool insitu);
+  /// The free-running async frame (RuntimeMode::kAsync +
+  /// DependencyMode::kFree): prices the same stages, builds the dependency
+  /// graph, and charges the frame the graph's critical path — skew between
+  /// ranks is reclaimed as overlap instead of paid at a barrier.
+  /// `readahead_seconds` is the window (the previous frame's composite
+  /// tail in model_run) that frame's collective-read fetch may hide under.
+  FrameStats model_frame_async(const fault::FaultPlan* plan, bool insitu,
+                               double readahead_seconds);
   /// Shared execute-mode stages 2+3: render the bricks, composite, fill
   /// stats.render/composite; `out` receives the image if non-null.
   void execute_render_and_composite(std::span<Brick> bricks,

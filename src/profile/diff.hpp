@@ -141,23 +141,37 @@ struct ScalingPoint {
   double io_seconds = 0.0;
   double render_seconds = 0.0;
   double composite_seconds = 0.0;
+  /// The row's reported wall seconds. In a pure-BSP sweep this equals the
+  /// stage sum; a run mixing BSP pricing with overlapped/async exchanges
+  /// reports *less* than the stage sum (overlap hides stage time). 0 means
+  /// "not reported": total_seconds() falls back to the stage sum.
+  double reported_seconds = 0.0;
 
   double total_seconds() const {
-    return io_seconds + render_seconds + composite_seconds;
+    return reported_seconds > 0.0
+               ? reported_seconds
+               : io_seconds + render_seconds + composite_seconds;
   }
 };
 
 /// Efficiency loss decomposition at one sweep point, relative to the
 /// smallest-proc point scaled perfectly. Loss terms are fractions of the
-/// actual time and sum exactly to 1 - efficiency (residual absorbs
-/// rounding and any cross-stage interaction).
+/// actual time and sum to 1 - efficiency + overlap_credit: the residual
+/// absorbs rounding and cross-stage interaction, and is clamped at zero —
+/// when a run mixes BSP and overlapped exchanges the stage sum can exceed
+/// the reported total, which would otherwise drive the residual negative;
+/// that surplus is reported as overlap_credit instead of being silently
+/// summed away.
 struct ScalingLoss {
   std::int64_t procs = 0;
   double efficiency = 1.0;  ///< ideal_total / actual_total
   double io_loss = 0.0;
   double imbalance_loss = 0.0;      ///< render stage excess
   double communication_loss = 0.0;  ///< composite stage excess
-  double residual_loss = 0.0;
+  double residual_loss = 0.0;       ///< clamped at 0; see overlap_credit
+  /// Stage time hidden by overlap: max(0, -(raw residual)). 0 for pure-BSP
+  /// sweeps, positive when reported seconds < stage-sum seconds.
+  double overlap_credit = 0.0;
 };
 
 /// Extracts sweep points from bench rows whose name starts with `prefix`

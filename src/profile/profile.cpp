@@ -263,8 +263,11 @@ FrameProfile analyze_frame(const obs::Tracer& tracer,
   profile.attribution = attribute_subtree(tracer, frame_span,
                                           &profile.critical_path,
                                           &profile.lanes);
-  profile.frame_seconds =
-      tracer.spans()[std::size_t(frame_span)].seconds();
+  const obs::Span& span = tracer.spans()[std::size_t(frame_span)];
+  profile.frame_seconds = span.seconds();
+  if (const double* reclaimed = find_arg(span, "overlap_reclaimed_seconds")) {
+    profile.overlap_reclaimed_seconds = *reclaimed;
+  }
   return profile;
 }
 
@@ -302,6 +305,12 @@ std::string report(const obs::Tracer& tracer, const FrameProfile& profile,
   }
   buckets.add_row({"total", fmt_f(profile.attribution.total_seconds(), 6),
                    "100.0"});
+  if (profile.overlap_reclaimed_seconds > 0.0) {
+    // Async frames: skew reclaimed as overlap is outside the frame total
+    // (the buckets sum to the *async* frame), but it stays on the books.
+    buckets.add_row({"reclaimed_overlap",
+                     fmt_f(profile.overlap_reclaimed_seconds, 6), "-"});
+  }
   out += buckets.str();
 
   // Top slices by self time. Stable sort keeps timeline order among ties.
@@ -344,6 +353,8 @@ std::string to_json(const obs::Tracer& tracer, const FrameProfile& profile) {
   const auto& spans = tracer.spans();
   std::string out = "{\n";
   out += "  \"frame_seconds\": " + fmt_double(profile.frame_seconds) + ",\n";
+  out += "  \"overlap_reclaimed_seconds\": " +
+         fmt_double(profile.overlap_reclaimed_seconds) + ",\n";
   out += "  \"critical_path_seconds\": " +
          fmt_double(profile.critical_seconds()) + ",\n";
   out += "  \"buckets\": {";

@@ -127,6 +127,11 @@ struct Lane {
 struct FrameProfile {
   std::int32_t frame_span = -1;
   double frame_seconds = 0.0;  ///< the frame span's duration (double clock)
+  /// Barrier skew the async task-graph runtime turned into overlap, read
+  /// from the frame span's `overlap_reclaimed_seconds` arg (DESIGN.md §9).
+  /// 0 for BSP frames: skew that disappears shows up here, it never just
+  /// vanishes from the books.
+  double overlap_reclaimed_seconds = 0.0;
   Attribution attribution;
   /// Self-time slices in timeline order; sum of self_ps equals
   /// attribution.total_ps exactly.

@@ -70,6 +70,16 @@ class RenderModel {
       const Camera& camera, const RenderConfig& config,
       const std::function<double(std::int64_t rank)>& rank_slowdown) const;
 
+  /// Per-rank render durations for the async task graph: element r is rank
+  /// r's slowdown-weighted seconds including the imbalance factor, computed
+  /// with exactly the arithmetic of estimate_degraded — so the vector's
+  /// maximum equals estimate_degraded(...).seconds *bitwise* (the chained-
+  /// mode equivalence the pipeline asserts). Dead ranks get 0.0.
+  std::vector<double> rank_seconds(
+      const Decomposition& decomp, std::int64_t num_ranks,
+      const Camera& camera, const RenderConfig& config,
+      const std::function<double(std::int64_t rank)>& rank_slowdown) const;
+
   /// Converts a per-rank sample count to seconds (without imbalance).
   double seconds_for_samples(std::int64_t samples) const {
     return double(samples) / cfg_->samples_per_second;

@@ -253,6 +253,7 @@ StealSchedule StealPlanner::plan(
   }
   sched.worst_after_seconds = worst_after;
   sched.worst_after_rank = worst_after_rank;
+  sched.rank_seconds_after = t;  // dead ranks never accumulated: exactly 0.0
   sched.straggler_after =
       ideal_seconds > 0.0 ? worst_after / ideal_seconds : 1.0;
   sched.max_rank_samples_after = max_samples_after;

@@ -103,6 +103,11 @@ struct StealSchedule {
   /// Raw straggler sample count after the schedule (render-cost attribution:
   /// stolen chunks land on the thief).
   std::int64_t max_rank_samples_after = 0;
+  /// Per-rank weighted seconds after the schedule (no imbalance factor),
+  /// exactly the planner's internal loads: dead ranks 0.0, and the maximum
+  /// equals worst_after_seconds bitwise. Feeds the async task graph's
+  /// per-rank render durations.
+  std::vector<double> rank_seconds_after;
 
   bool empty() const { return claims.empty(); }
 };

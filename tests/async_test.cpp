@@ -1,0 +1,568 @@
+// Async task-graph runtime (DESIGN.md §9): TaskGraph scheduling invariants,
+// the chained-mode byte-identity to BSP (stats, trace, image) across
+// healthy/faulty/stealing frames and host thread counts, free-mode overlap
+// reclamation with exact bookkeeping, the overlapped-exchange skew
+// attribution regression, model_run read-ahead, and the mixed-mode scaling
+// decomposition clamp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "profile/diff.hpp"
+#include "profile/json.hpp"
+#include "profile/profile.hpp"
+#include "runtime/taskgraph.hpp"
+#include "steal/steal.hpp"
+
+namespace pvr {
+namespace {
+
+core::ExperimentConfig small_config(std::int64_t ranks = 64) {
+  core::ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 64);
+  cfg.variable = cfg.dataset.variables.front();
+  cfg.image_width = cfg.image_height = 128;
+  return cfg;
+}
+
+core::ExperimentConfig async_config(runtime::DependencyMode dep,
+                                    std::int64_t ranks = 64) {
+  auto cfg = small_config(ranks);
+  cfg.runtime_mode = runtime::RuntimeMode::kAsync;
+  cfg.dependency = dep;
+  return cfg;
+}
+
+/// Degrades rank 0's hosting node by `factor` (all other ranks healthy).
+fault::FaultPlan degrade_rank0(const machine::Partition& part,
+                               double factor) {
+  fault::FaultPlan plan;
+  plan.degrade_node(part.node_of_rank(0), factor);
+  return plan;
+}
+
+void expect_same_exchange(const net::ExchangeCost& a,
+                          const net::ExchangeCost& b) {
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.local_messages, b.local_messages);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  EXPECT_EQ(a.link_seconds, b.link_seconds);
+  EXPECT_EQ(a.endpoint_seconds, b.endpoint_seconds);
+  EXPECT_EQ(a.latency_seconds, b.latency_seconds);
+  EXPECT_EQ(a.skew_seconds, b.skew_seconds);
+  EXPECT_EQ(a.retry_seconds, b.retry_seconds);
+}
+
+/// Exact (bitwise) equality of everything a chained frame must reproduce:
+/// stage seconds, per-stage results, steal and fault accounting, and the
+/// trace summary. FrameStats::async is deliberately excluded — it is the
+/// one field that records which runtime priced the frame.
+void expect_same_frame(const core::FrameStats& a, const core::FrameStats& b) {
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.render_seconds, b.render_seconds);
+  EXPECT_EQ(a.composite_seconds, b.composite_seconds);
+  EXPECT_EQ(a.io.seconds, b.io.seconds);
+  EXPECT_EQ(a.io.useful_bytes, b.io.useful_bytes);
+  EXPECT_EQ(a.io.physical_bytes, b.io.physical_bytes);
+  EXPECT_EQ(a.render.seconds, b.render.seconds);
+  EXPECT_EQ(a.render.total_samples, b.render.total_samples);
+  EXPECT_EQ(a.render.max_rank_samples, b.render.max_rank_samples);
+  EXPECT_EQ(a.composite.seconds, b.composite.seconds);
+  EXPECT_EQ(a.composite.blend_seconds, b.composite.blend_seconds);
+  EXPECT_EQ(a.composite.num_compositors, b.composite.num_compositors);
+  EXPECT_EQ(a.composite.messages, b.composite.messages);
+  EXPECT_EQ(a.composite.bytes, b.composite.bytes);
+  expect_same_exchange(a.composite.exchange, b.composite.exchange);
+  EXPECT_EQ(a.steal.chunks_stolen, b.steal.chunks_stolen);
+  EXPECT_EQ(a.steal.bytes_replicated, b.steal.bytes_replicated);
+  EXPECT_EQ(a.steal.steal_seconds, b.steal.steal_seconds);
+  EXPECT_EQ(a.steal.straggler_after, b.steal.straggler_after);
+  EXPECT_EQ(a.faults.dropped_blocks, b.faults.dropped_blocks);
+  EXPECT_EQ(a.faults.undeliverable_messages, b.faults.undeliverable_messages);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.rerouted_messages, b.faults.rerouted_messages);
+  EXPECT_EQ(a.trace.spans, b.trace.spans);
+  EXPECT_EQ(a.trace.frame_seconds, b.trace.frame_seconds);
+  EXPECT_EQ(a.trace.io_seconds, b.trace.io_seconds);
+  EXPECT_EQ(a.trace.render_seconds, b.trace.render_seconds);
+  EXPECT_EQ(a.trace.composite_seconds, b.trace.composite_seconds);
+}
+
+const double* span_arg(const obs::Span& span, const char* key) {
+  for (const auto& [k, v] : span.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// --- TaskGraph scheduling ---------------------------------------------------
+
+TEST(TaskGraphTest, EmptyGraphHasZeroMakespan) {
+  runtime::TaskGraph graph(4);
+  const auto sched = graph.run();
+  EXPECT_EQ(sched.makespan, 0.0);
+  EXPECT_EQ(sched.last_task, -1);
+  EXPECT_TRUE(sched.critical_path.empty());
+  EXPECT_EQ(sched.busy_seconds, 0.0);
+}
+
+TEST(TaskGraphTest, DiamondChargesTheSlowArm) {
+  runtime::TaskGraph graph(3);
+  const auto a = graph.add("a", 0, 1.0, 0, {});
+  const auto b = graph.add("b", 1, 2.0, 0, {a});
+  const auto c = graph.add("c", 2, 3.0, 0, {a});
+  const auto d = graph.add("d", 0, 1.0, 0, {b, c});
+  const auto sched = graph.run();
+  EXPECT_EQ(sched.times[std::size_t(a)].finish, 1.0);
+  EXPECT_EQ(sched.times[std::size_t(b)].finish, 3.0);
+  EXPECT_EQ(sched.times[std::size_t(c)].finish, 4.0);
+  // d becomes ready only when the slow arm (c) finishes.
+  EXPECT_EQ(sched.times[std::size_t(d)].ready, 4.0);
+  EXPECT_EQ(sched.times[std::size_t(d)].start, 4.0);
+  EXPECT_EQ(sched.makespan, 5.0);
+  EXPECT_EQ(sched.last_task, d);
+  EXPECT_EQ(sched.busy_seconds, 7.0);
+  EXPECT_EQ(sched.lane_wait_seconds, 0.0);
+  // The binding chain follows the slow arm: a -> c -> d.
+  const std::vector<runtime::TaskId> expected{a, c, d};
+  EXPECT_EQ(sched.critical_path, expected);
+}
+
+TEST(TaskGraphTest, SameLaneSerializesAndChargesWait) {
+  runtime::TaskGraph graph(1);
+  const auto a = graph.add("a", 0, 2.0, 0, {});
+  const auto b = graph.add("b", 0, 1.0, 0, {});
+  const auto sched = graph.run();
+  // b was ready at time zero but its lane was busy until a finished.
+  EXPECT_EQ(sched.times[std::size_t(b)].ready, 0.0);
+  EXPECT_EQ(sched.times[std::size_t(b)].start, 2.0);
+  EXPECT_EQ(sched.times[std::size_t(b)].finish, 3.0);
+  EXPECT_EQ(sched.makespan, 3.0);
+  EXPECT_EQ(sched.lane_wait_seconds, 2.0);
+  // Lane occupancy is a binding link too: the chain is a -> b.
+  const std::vector<runtime::TaskId> expected{a, b};
+  EXPECT_EQ(sched.critical_path, expected);
+}
+
+TEST(TaskGraphTest, SharedLaneAndRankLanesCoexist) {
+  runtime::TaskGraph graph(2);
+  // A collective on the shared lane gates two rank tasks, which run
+  // concurrently on their own lanes.
+  const auto gate = graph.add("gate", -1, 1.0, 0, {});
+  const auto r0 = graph.add("r0", 0, 2.0, 1, {gate});
+  const auto r1 = graph.add("r1", 1, 5.0, 1, {gate});
+  const auto sched = graph.run();
+  EXPECT_EQ(sched.times[std::size_t(r0)].start, 1.0);
+  EXPECT_EQ(sched.times[std::size_t(r1)].start, 1.0);
+  EXPECT_EQ(sched.makespan, 6.0);
+  EXPECT_EQ(sched.last_task, r1);
+  EXPECT_EQ(sched.lane_wait_seconds, 0.0);
+}
+
+TEST(TaskGraphTest, CriticalPathTelescopesToMakespan) {
+  runtime::TaskGraph graph(4);
+  std::vector<runtime::TaskId> renders;
+  const auto io = graph.add("io", -1, 0.75, 0, {});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    renders.push_back(
+        graph.add("render", r, 1.0 + 0.125 * double(r), 1, {io}));
+  }
+  for (std::int64_t c = 0; c < 4; ++c) {
+    graph.add("composite", c, 0.5,
+              2, {renders[std::size_t(c)], renders[std::size_t(3 - c)]});
+  }
+  const auto sched = graph.run();
+  ASSERT_FALSE(sched.critical_path.empty());
+  // Every link is gap-free and the chain starts at time zero, so the task
+  // durations telescope exactly (associativity: summed in chain order).
+  const auto& first = sched.times[std::size_t(sched.critical_path.front())];
+  EXPECT_EQ(first.start, 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sched.critical_path.size(); ++i) {
+    const auto id = sched.critical_path[i];
+    const auto& tt = sched.times[std::size_t(id)];
+    EXPECT_EQ(tt.finish - tt.start, graph.task(id).seconds);
+    if (i > 0) {
+      const auto& prev = sched.times[std::size_t(sched.critical_path[i - 1])];
+      EXPECT_EQ(prev.finish, tt.start);
+    }
+    sum += graph.task(id).seconds;
+  }
+  EXPECT_EQ(sum, sched.makespan);
+  EXPECT_EQ(sched.critical_path.back(), sched.last_task);
+}
+
+TEST(TaskGraphTest, RunIsPureAndDeterministic) {
+  runtime::TaskGraph graph(2);
+  const auto a = graph.add("a", 0, 1.5, 0, {});
+  graph.add("b", 1, 2.5, 0, {a});
+  const auto first = graph.run();
+  const auto second = graph.run();
+  ASSERT_EQ(first.times.size(), second.times.size());
+  for (std::size_t i = 0; i < first.times.size(); ++i) {
+    EXPECT_EQ(first.times[i].ready, second.times[i].ready);
+    EXPECT_EQ(first.times[i].start, second.times[i].start);
+    EXPECT_EQ(first.times[i].finish, second.times[i].finish);
+  }
+  EXPECT_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.critical_path, second.critical_path);
+  // run() leaves the graph appendable.
+  graph.add("c", 0, 1.0, 0, {a});
+  EXPECT_EQ(graph.num_tasks(), 3);
+}
+
+TEST(TaskGraphTest, LastTaskTieBreaksToLowestId) {
+  runtime::TaskGraph graph(2);
+  const auto a = graph.add("a", 0, 2.0, 0, {});
+  graph.add("b", 1, 2.0, 0, {});
+  const auto sched = graph.run();
+  EXPECT_EQ(sched.makespan, 2.0);
+  EXPECT_EQ(sched.last_task, a);
+}
+
+// --- chained mode: BSP byte-identity ---------------------------------------
+
+TEST(AsyncChainedTest, ValidateRejectsAsyncWithoutDirectSend) {
+  auto cfg = async_config(runtime::DependencyMode::kFree);
+  cfg.composite.algorithm = compose::CompositeAlgorithm::kBinarySwap;
+  EXPECT_THROW(core::validate(cfg), Error);
+  cfg.composite.algorithm = compose::CompositeAlgorithm::kDirectSend;
+  EXPECT_NO_THROW(core::validate(cfg));
+}
+
+TEST(AsyncChainedTest, ChainedMatchesBspOnHealthyFrame) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  core::ParallelVolumeRenderer chained(
+      async_config(runtime::DependencyMode::kChained));
+  obs::Tracer ta, tb;
+  bsp.set_tracer(&ta);
+  chained.set_tracer(&tb);
+  const core::FrameStats a = bsp.model_frame();
+  const core::FrameStats b = chained.model_frame();
+  expect_same_frame(a, b);
+  // Byte-identical timelines: the chained graph is built and verified off
+  // to the side, it never perturbs the traced superstep.
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+  EXPECT_FALSE(a.async.enabled);
+  EXPECT_TRUE(b.async.enabled);
+}
+
+TEST(AsyncChainedTest, ChainedMatchesBspUnderADegradedNode) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  core::ParallelVolumeRenderer chained(
+      async_config(runtime::DependencyMode::kChained));
+  const auto plan = degrade_rank0(bsp.partition(), 4.0);
+  obs::Tracer ta, tb;
+  bsp.set_tracer(&ta);
+  chained.set_tracer(&tb);
+  const core::FrameStats a = bsp.model_frame_with_faults(plan);
+  const core::FrameStats b = chained.model_frame_with_faults(plan);
+  expect_same_frame(a, b);
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+}
+
+TEST(AsyncChainedTest, ChainedMatchesBspUnderADeadNode) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  fault::FaultPlan plan;
+  plan.fail_node(bsp.partition().node_of_rank(3));
+  core::ParallelVolumeRenderer chained(
+      async_config(runtime::DependencyMode::kChained));
+  obs::Tracer ta, tb;
+  bsp.set_tracer(&ta);
+  chained.set_tracer(&tb);
+  const core::FrameStats a = bsp.model_frame_with_faults(plan);
+  const core::FrameStats b = chained.model_frame_with_faults(plan);
+  ASSERT_GT(a.faults.dropped_blocks, 0);
+  expect_same_frame(a, b);
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+}
+
+TEST(AsyncChainedTest, ChainedMatchesBspWithStealing) {
+  auto cfg = small_config();
+  cfg.steal.policy = steal::StealPolicy::kReplicateBlocks;
+  core::ParallelVolumeRenderer bsp(cfg);
+  auto acfg = async_config(runtime::DependencyMode::kChained);
+  acfg.steal.policy = steal::StealPolicy::kReplicateBlocks;
+  core::ParallelVolumeRenderer chained(acfg);
+  const auto plan = degrade_rank0(bsp.partition(), 4.0);
+  obs::Tracer ta, tb;
+  bsp.set_tracer(&ta);
+  chained.set_tracer(&tb);
+  const core::FrameStats a = bsp.model_frame_with_faults(plan);
+  const core::FrameStats b = chained.model_frame_with_faults(plan);
+  ASSERT_GT(a.steal.chunks_stolen, 0);
+  expect_same_frame(a, b);
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+}
+
+TEST(AsyncChainedTest, ChainedMatchesBspOnInsituFrame) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  core::ParallelVolumeRenderer chained(
+      async_config(runtime::DependencyMode::kChained));
+  obs::Tracer ta, tb;
+  bsp.set_tracer(&ta);
+  chained.set_tracer(&tb);
+  const core::FrameStats a = bsp.model_insitu_frame();
+  const core::FrameStats b = chained.model_insitu_frame();
+  expect_same_frame(a, b);
+  EXPECT_EQ(a.io_seconds, 0.0);
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+}
+
+TEST(AsyncChainedTest, ChainedIsBitIdenticalAcrossHostThreads) {
+  auto cfg = async_config(runtime::DependencyMode::kChained);
+  cfg.host_threads = 1;
+  core::ParallelVolumeRenderer serial(cfg);
+  cfg.host_threads = 4;
+  core::ParallelVolumeRenderer threaded(cfg);
+  const auto plan = degrade_rank0(serial.partition(), 4.0);
+  obs::Tracer ta, tb;
+  serial.set_tracer(&ta);
+  threaded.set_tracer(&tb);
+  const core::FrameStats a = serial.model_frame_with_faults(plan);
+  const core::FrameStats b = threaded.model_frame_with_faults(plan);
+  expect_same_frame(a, b);
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+}
+
+TEST(AsyncChainedTest, ChainedFillsOverlapStats) {
+  core::ParallelVolumeRenderer chained(
+      async_config(runtime::DependencyMode::kChained));
+  const core::FrameStats stats = chained.model_frame();
+  EXPECT_TRUE(stats.async.enabled);
+  EXPECT_EQ(stats.async.dependency, runtime::DependencyMode::kChained);
+  // Chained reproduces BSP exactly, so nothing is reclaimed by definition.
+  EXPECT_EQ(stats.async.reclaimed_seconds, 0.0);
+  EXPECT_EQ(stats.async.bsp_seconds, stats.total_seconds());
+  // io + per-rank renders + barrier + compositors at least.
+  EXPECT_GT(stats.async.tasks, 64);
+  EXPECT_GT(stats.async.edges, 64);
+}
+
+TEST(AsyncChainedTest, ExecuteImageMatchesBsp) {
+  const data::SupernovaField field(1530);
+  core::ParallelVolumeRenderer bsp(small_config(8));
+  Image base_img;
+  const core::FrameStats a = bsp.execute_insitu_frame(field, &base_img);
+  core::ParallelVolumeRenderer chained(
+      async_config(runtime::DependencyMode::kChained, 8));
+  Image async_img;
+  const core::FrameStats b = chained.execute_insitu_frame(field, &async_img);
+  // Execute mode always runs the real superstep runtime; the async setting
+  // must not perturb a single pixel.
+  EXPECT_EQ(base_img.max_difference(async_img), 0.0f);
+  EXPECT_EQ(a.render.total_samples, b.render.total_samples);
+}
+
+// --- free mode: overlap reclamation ----------------------------------------
+
+TEST(AsyncFreeTest, FreeNeverExceedsBspOnAHealthyFrame) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  core::ParallelVolumeRenderer async(
+      async_config(runtime::DependencyMode::kFree));
+  const core::FrameStats a = bsp.model_frame();
+  const core::FrameStats b = async.model_frame();
+  // Every async stage term is <= its BSP counterpart and fl-addition is
+  // monotone, so the inequality holds bitwise — no tolerance.
+  EXPECT_LE(b.total_seconds(), a.total_seconds());
+  EXPECT_TRUE(b.async.enabled);
+  EXPECT_EQ(b.async.dependency, runtime::DependencyMode::kFree);
+  // The books balance exactly: bsp price recorded, reclaimed = bsp - async.
+  EXPECT_EQ(b.async.bsp_seconds, a.total_seconds());
+  EXPECT_EQ(b.async.reclaimed_seconds,
+            b.async.bsp_seconds - b.total_seconds());
+  EXPECT_GE(b.async.reclaimed_seconds, 0.0);
+  // The stages themselves are priced identically; only the schedule moves.
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.render.total_samples, b.render.total_samples);
+}
+
+TEST(AsyncFreeTest, FreeReclaimsSkewUnderADegradedNode) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  core::ParallelVolumeRenderer async(
+      async_config(runtime::DependencyMode::kFree));
+  const auto plan = degrade_rank0(bsp.partition(), 8.0);
+  const core::FrameStats a = bsp.model_frame_with_faults(plan);
+  const core::FrameStats b = async.model_frame_with_faults(plan);
+  // The BSP composite pays barrier-close skew; the free graph overlaps it.
+  ASSERT_GT(a.composite.exchange.skew_seconds, 0.0);
+  EXPECT_LT(b.total_seconds(), a.total_seconds());
+  EXPECT_GT(b.async.reclaimed_seconds, 0.0);
+  EXPECT_EQ(b.async.reclaimed_seconds,
+            b.async.bsp_seconds - b.total_seconds());
+  // The overlapped composite exchange dropped exactly the skew term.
+  EXPECT_EQ(b.composite.exchange.skew_seconds, 0.0);
+  EXPECT_EQ(b.faults.dropped_blocks, a.faults.dropped_blocks);
+}
+
+TEST(AsyncFreeTest, FreeFrameIsBitIdenticalAcrossHostThreads) {
+  auto cfg = async_config(runtime::DependencyMode::kFree);
+  cfg.steal.policy = steal::StealPolicy::kScanlineChunks;
+  cfg.host_threads = 1;
+  core::ParallelVolumeRenderer serial(cfg);
+  cfg.host_threads = 4;
+  core::ParallelVolumeRenderer threaded(cfg);
+  const auto plan = degrade_rank0(serial.partition(), 4.0);
+  obs::Tracer ta, tb;
+  serial.set_tracer(&ta);
+  threaded.set_tracer(&tb);
+  const core::FrameStats a = serial.model_frame_with_faults(plan);
+  const core::FrameStats b = threaded.model_frame_with_faults(plan);
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.render_seconds, b.render_seconds);
+  EXPECT_EQ(a.composite_seconds, b.composite_seconds);
+  EXPECT_EQ(a.async.bsp_seconds, b.async.bsp_seconds);
+  EXPECT_EQ(a.async.reclaimed_seconds, b.async.reclaimed_seconds);
+  EXPECT_EQ(a.async.lane_wait_seconds, b.async.lane_wait_seconds);
+  EXPECT_EQ(obs::to_chrome_trace_json(ta), obs::to_chrome_trace_json(tb));
+}
+
+TEST(AsyncFreeTest, FreeFrameAttributionStaysExact) {
+  core::ParallelVolumeRenderer async(
+      async_config(runtime::DependencyMode::kFree));
+  obs::Tracer tracer;
+  async.set_tracer(&tracer);
+  const auto plan = degrade_rank0(async.partition(), 4.0);
+  const core::FrameStats stats = async.model_frame_with_faults(plan);
+  const profile::Profile prof = profile::analyze(tracer);
+  ASSERT_EQ(prof.frames.size(), 1u);
+  const profile::FrameProfile& frame = prof.frames.front();
+  // Reclaimed skew shows up as overlap on the frame's books — it never
+  // silently vanishes from the attribution.
+  EXPECT_EQ(frame.overlap_reclaimed_seconds, stats.async.reclaimed_seconds);
+  // Disjoint-and-exhaustive still holds on the overlapped timeline: buckets
+  // sum to the total, which is the frame span's duration exactly.
+  EXPECT_EQ(frame.attribution.sum_ps(), frame.attribution.total_ps);
+  EXPECT_EQ(frame.attribution.total_ps,
+            profile::to_picos(frame.frame_seconds));
+  EXPECT_EQ(frame.frame_seconds, stats.trace.frame_seconds);
+}
+
+// Satellite audit regression: overlapped exchanges (steal traffic and the
+// free-mode composite) zero their skew *before* the span argument is
+// recorded, so the trace, the ExchangeCost, and the profiler's skew bucket
+// tell one story.
+TEST(AsyncFreeTest, OverlappedExchangeSpansRecordZeroSkew) {
+  auto cfg = small_config();
+  cfg.steal.policy = steal::StealPolicy::kReplicateBlocks;
+  core::ParallelVolumeRenderer pvr(cfg);
+  obs::Tracer tracer;
+  pvr.set_tracer(&tracer);
+  const auto plan = degrade_rank0(pvr.partition(), 4.0);
+  const core::FrameStats stats = pvr.model_frame_with_faults(plan);
+  ASSERT_GT(stats.steal.chunks_stolen, 0);
+  std::int64_t overlapped_spans = 0;
+  for (const auto& span : tracer.spans()) {
+    const double* overlapped = span_arg(span, "overlapped");
+    if (overlapped == nullptr) continue;
+    ++overlapped_spans;
+    EXPECT_EQ(*overlapped, 1.0);
+    const double* skew = span_arg(span, "skew_seconds");
+    ASSERT_NE(skew, nullptr);
+    EXPECT_EQ(*skew, 0.0);
+  }
+  EXPECT_GT(overlapped_spans, 0);
+  // The attribution sum stays exact with overlapped spans on the timeline.
+  const profile::Profile prof = profile::analyze(tracer);
+  ASSERT_EQ(prof.frames.size(), 1u);
+  EXPECT_EQ(prof.frames.front().attribution.sum_ps(),
+            prof.frames.front().attribution.total_ps);
+  EXPECT_EQ(prof.frames.front().attribution.total_ps,
+            profile::to_picos(prof.frames.front().frame_seconds));
+}
+
+TEST(AsyncFreeTest, FreeRunReadsAheadAndBeatsBsp) {
+  core::ParallelVolumeRenderer bsp(small_config());
+  core::ParallelVolumeRenderer async(
+      async_config(runtime::DependencyMode::kFree));
+  const core::RunStats base = bsp.model_run(3);
+  const core::RunStats run = async.model_run(3);
+  ASSERT_EQ(run.frames.size(), 3u);
+  // Frame 0 has no predecessor to hide its fetch under; later frames do.
+  EXPECT_EQ(run.frames[0].async.readahead_seconds, 0.0);
+  EXPECT_GT(run.frames[1].async.readahead_seconds, 0.0);
+  EXPECT_GT(run.frames[2].async.readahead_seconds, 0.0);
+  EXPECT_LT(run.total_seconds, base.total_seconds);
+  // The async ideal is pipelined: first frame at full price, then the
+  // steady-state cadence.
+  EXPECT_LT(run.ideal_seconds, base.ideal_seconds);
+  EXPECT_LE(run.effective_fps(), run.ideal_fps() * (1.0 + 1e-12));
+  EXPECT_EQ(run.frames_completed, 3);
+}
+
+TEST(AsyncFreeTest, FreeRunSurvivesAFaultArrival) {
+  auto cfg = async_config(runtime::DependencyMode::kFree);
+  core::ParallelVolumeRenderer async(cfg);
+  fault::FaultTimeline timeline;
+  fault::FaultArrival arrival;
+  arrival.frame = 1;
+  arrival.plan = degrade_rank0(async.partition(), 4.0);
+  timeline.add(arrival);
+  const core::RunStats run = async.model_run(3, timeline);
+  ASSERT_EQ(run.frames.size(), 3u);
+  EXPECT_EQ(run.faults_struck, 1);
+  // The degraded frame still runs the free graph and reclaims skew.
+  EXPECT_TRUE(run.frames[1].async.enabled);
+  EXPECT_GT(run.frames[1].async.reclaimed_seconds, 0.0);
+  EXPECT_GT(run.frames[1].total_seconds(), run.frames[2].total_seconds());
+}
+
+// --- mixed-mode scaling decomposition (satellite bugfix) --------------------
+
+TEST(ScalingOverlapTest, MixedModeResidualClampsToOverlapCredit) {
+  // p256 reports less wall time than its stage sum (an overlapped/async
+  // row); p128 is a pure-BSP row whose report equals the stage sum.
+  const std::string text = R"({
+    "bench": "fig5",
+    "schema_version": 3,
+    "rows": [
+      {"name": "fig5/p64", "seconds": 10.0,
+       "procs": 64, "io_s": 6.0, "render_s": 3.0, "composite_s": 1.0},
+      {"name": "fig5/p128", "seconds": 5.8,
+       "procs": 128, "io_s": 3.2, "render_s": 1.8, "composite_s": 0.8},
+      {"name": "fig5/p256", "seconds": 3.0,
+       "procs": 256, "io_s": 2.0, "render_s": 1.0, "composite_s": 0.8}
+    ]
+  })";
+  const profile::BenchRun run =
+      profile::parse_bench_run(profile::parse_json(text));
+  const auto points = profile::extract_scaling(run, "fig5");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[2].reported_seconds, 3.0);
+  EXPECT_EQ(points[2].total_seconds(), 3.0);
+  const auto losses = profile::scaling_decomposition(points);
+  ASSERT_EQ(losses.size(), 3u);
+  for (const auto& loss : losses) {
+    // The clamp: the residual never goes negative, and at most one of
+    // residual/overlap is nonzero.
+    EXPECT_GE(loss.residual_loss, 0.0);
+    EXPECT_GE(loss.overlap_credit, 0.0);
+    EXPECT_TRUE(loss.residual_loss == 0.0 || loss.overlap_credit == 0.0);
+    // The decomposition identity with the credit restored.
+    const double sum = loss.io_loss + loss.imbalance_loss +
+                       loss.communication_loss + loss.residual_loss -
+                       loss.overlap_credit;
+    EXPECT_NEAR(sum, 1.0 - loss.efficiency, 1e-12);
+  }
+  // The BSP row keeps a clean ledger (up to one ulp of decomposition
+  // rounding); the mixed row books the hidden time.
+  EXPECT_LT(losses[1].overlap_credit, 1e-12);
+  EXPECT_GT(losses[2].overlap_credit, 0.0);
+  EXPECT_EQ(losses[2].residual_loss, 0.0);
+  // The report renders the new column without disturbing determinism.
+  const std::string rendered = profile::report(losses);
+  EXPECT_NE(rendered.find("overlap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pvr

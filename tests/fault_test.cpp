@@ -8,6 +8,7 @@
 #include "core/pipeline.hpp"
 #include "fault/fault_plan.hpp"
 #include "machine/partition.hpp"
+#include "runtime/runtime.hpp"
 #include "storage/storage_model.hpp"
 
 namespace pvr {
@@ -419,6 +420,35 @@ TEST(FaultStorageTest, DegradedServerIsSlower) {
   const storage::IoCost faulty = model.read_cost(accesses, &plan, &stats);
   EXPECT_GT(stats.retries, 0);
   EXPECT_GT(faulty.seconds, healthy.seconds);
+}
+
+TEST(FaultExchangeTest, EmptyOverlappedExchangeUnderAnArmedPlanIsFree) {
+  // Satellite audit: an overlapped exchange with zero messages while a
+  // fault plan is armed must price to exactly nothing — no retry or detour
+  // seconds may leak from the armed plan into an empty round.
+  const auto part = make_partition(64);
+  runtime::Runtime rt(part, runtime::Mode::kModel);
+  fault::FaultPlan plan;
+  plan.fail_node(part.node_of_rank(5));
+  plan.fail_link(part.node_of_rank(9), 0, 0);
+  fault::FaultStats stats;
+  rt.set_faults(&plan, &stats);
+  const net::ExchangeCost cost = rt.exchange_messages_overlapped({});
+  EXPECT_EQ(cost.seconds, 0.0);
+  EXPECT_EQ(cost.link_seconds, 0.0);
+  EXPECT_EQ(cost.endpoint_seconds, 0.0);
+  EXPECT_EQ(cost.latency_seconds, 0.0);
+  EXPECT_EQ(cost.skew_seconds, 0.0);
+  EXPECT_EQ(cost.retry_seconds, 0.0);
+  EXPECT_EQ(cost.messages, 0);
+  EXPECT_EQ(cost.total_bytes, 0);
+  EXPECT_EQ(cost.max_hops, 0);
+  // Nothing reached the recovery books or the time ledger either.
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.undeliverable_messages, 0);
+  EXPECT_EQ(stats.rerouted_messages, 0);
+  EXPECT_EQ(rt.ledger().exchange, 0.0);
+  rt.set_faults(nullptr, nullptr);
 }
 
 TEST(FaultStorageTest, DeadIonReroutesItsClients) {
