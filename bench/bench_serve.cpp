@@ -1,0 +1,308 @@
+// Multi-tenant render service study (DESIGN.md §10): sessions × datasets ×
+// overload sweeps over the deterministic serve event loop. Every row records
+// p50/p99 served latency (exact nearest-rank over the run's sorted latency
+// set), the shared-brick-cache hit rate, and the shed/reject/coalesce
+// accounting — and every run re-asserts the no-silent-drop identity
+// served + rejected == submitted. The acceptance case (overload 4x on a
+// shared dataset) additionally PVR_REQUIREs that p99 stays bounded by the
+// shed watermark and that the cache absorbs > 90% of brick probes.
+//
+// Modeled numbers are deterministic, but the arrival trace goes through
+// libm (exponential interarrivals), so this bench is exercised by the CI
+// smoke job's self-consistency checks rather than committed baselines.
+#include "bench_common.hpp"
+
+namespace {
+
+using pvrbench::ExperimentConfig;
+using pvrbench::LatencyHistogram;
+using pvr::serve::RenderService;
+using pvr::serve::ServeReport;
+using pvr::serve::ServiceConfig;
+using pvr::serve::ServiceFault;
+using pvr::serve::Workload;
+using pvr::serve::WorkloadSpec;
+
+/// The shared dataset every sweep serves: the paper scene at a modest rank
+/// count (the service study varies load, not machine scale).
+ServiceConfig base_service(std::int64_t cache_capacity_bytes) {
+  ServiceConfig cfg;
+  cfg.datasets.push_back(
+      {"supernova-1120", pvrbench::paper_config(64, 1120, 1600)});
+  cfg.cache_capacity_bytes = cache_capacity_bytes;
+  cfg.log_cache_events = false;
+  return cfg;
+}
+
+std::vector<std::pair<std::string, double>> row_counters(
+    const ServeReport& report, double p50_s, double p99_s) {
+  const auto& s = report.stats;
+  return {{"p50_ms", p50_s * 1e3},
+          {"p99_ms", p99_s * 1e3},
+          {"submitted", double(s.submitted)},
+          {"served", double(s.served())},
+          {"served_full", double(s.served_full)},
+          {"served_degraded", double(s.served_degraded)},
+          {"shed", double(s.shed())},
+          {"rejected", double(s.rejected())},
+          {"coalesced", double(s.coalesced)},
+          {"sweeps", double(s.sweeps)},
+          {"hit_rate", report.cache.hit_rate()},
+          {"deadline_violations", double(s.deadline_violations)},
+          {"fetch_retries", double(s.fetch_retries)},
+          {"max_backlog_s", s.max_backlog_seconds}};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pvrbench;
+
+  bench_config_set("study", "multi-tenant render service under overload");
+  bench_config_set("dataset", "1120^3/1600^2 @ 64 ranks");
+  bench_config_set("seed", "42");
+
+  // Capacity numbers every sweep is parameterized against.
+  double warm_s = 0.0;
+  double cold_s = 0.0;
+  std::int64_t dataset_bytes = 0;
+  {
+    RenderService probe(base_service(0));
+    warm_s = probe.warm_sweep_seconds(0);
+    cold_s = probe.cold_sweep_seconds(0);
+    for (const auto& block : probe.renderer(0).io_blocks()) {
+      dataset_bytes += block.box.volume() *
+                       probe.config().datasets[0].config.dataset.element_bytes;
+    }
+    bench_config_set("warm_sweep_s", pvr::fmt_f(warm_s, 6));
+    bench_config_set("cold_sweep_s", pvr::fmt_f(cold_s, 6));
+    bench_config_set("dataset_bytes", std::to_string(dataset_bytes));
+  }
+
+  // --- Sweep 1: session scaling on one shared dataset. Static cameras, so
+  // every request coalesces into the one orbit bucket; the first sweep pays
+  // the collective read and every later sweep renders from the shared
+  // cache. Hit rate is 1 - 1/sweeps: more sessions => more sweeps => a
+  // monotonically nondecreasing hit rate (the CI smoke job asserts this
+  // from the JSON). ---
+  {
+    pvr::TextTable table(
+        "Serve S1 — session scaling, shared dataset, warm cache");
+    table.set_header({"sessions", "p50_s", "p99_s", "hit_rate", "coalesced",
+                      "sweeps", "end_s"});
+    for (const std::int64_t sessions : {1, 2, 4, 8, 16}) {
+      RenderService service(base_service(2 * dataset_bytes));
+      WorkloadSpec spec;
+      spec.seed = 42;
+      spec.num_sessions = sessions;
+      spec.requests_per_session = 8;
+      spec.request_rate = 0.5 / warm_s;  // each session at half capacity
+      spec.slo_seconds = 50.0 * warm_s;
+      const ServeReport report = service.run(Workload::generate(spec));
+
+      LatencyHistogram lat;
+      lat.record_all(report.latencies);
+      const double p50 = lat.p(50.0);
+      const double p99 = lat.p(99.0);
+      table.add_row({std::to_string(sessions), pvr::fmt_f(p50, 4),
+                     pvr::fmt_f(p99, 4),
+                     pvr::fmt_f(report.cache.hit_rate(), 4),
+                     std::to_string(report.stats.coalesced),
+                     std::to_string(report.stats.sweeps),
+                     pvr::fmt_f(report.stats.end_time, 3)});
+      register_sim("serve/sessions/" + std::to_string(sessions),
+                   report.stats.end_time, row_counters(report, p50, p99));
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- Sweep 2: overload factor sweep. Offered load = factor x warm-sweep
+  // capacity; cameras orbit one bucket per request, so successive requests
+  // do NOT coalesce and the queue really fills. The watermark ladder
+  // (degrade -> stale -> shed) keeps the backlog — and with it p99 —
+  // bounded however hard the service is overdriven. factor 4 is the
+  // acceptance case. ---
+  {
+    pvr::TextTable table(
+        "Serve S2 — overload ladder, 8 sessions, shared dataset");
+    table.set_header({"load", "p50_s", "p99_s", "full", "degr", "stale",
+                      "rej", "hit_rate", "transitions"});
+    for (const double factor : {1.0, 2.0, 4.0, 8.0}) {
+      ServiceConfig cfg = base_service(2 * dataset_bytes);
+      cfg.overload.high_watermark_seconds = 2.0 * warm_s;
+      cfg.overload.stale_watermark_seconds = 4.0 * warm_s;
+      cfg.overload.shed_watermark_seconds = 8.0 * warm_s;
+      cfg.overload.low_watermark_seconds = 1.0 * warm_s;
+      cfg.aging_interval_seconds = 4.0 * warm_s;
+      RenderService service(cfg);
+
+      WorkloadSpec spec;
+      spec.seed = 42;
+      spec.num_sessions = 8;
+      spec.requests_per_session = 12;
+      spec.request_rate = factor / (8.0 * warm_s);
+      spec.slo_seconds = 10.0 * warm_s;
+      spec.camera_buckets = 8;
+      spec.orbit_step = 6.283185307179586 / 8.0;  // one bucket per request
+      const ServeReport report = service.run(Workload::generate(spec));
+
+      LatencyHistogram lat;
+      lat.record_all(report.latencies);
+      const double p50 = lat.p(50.0);
+      const double p99 = lat.p(99.0);
+      const auto& s = report.stats;
+      // The robustness contract, re-asserted at every factor: nothing is
+      // dropped silently, and the ladder keeps p99 bounded by the shed
+      // watermark plus one worst-case (cold) sweep plus the aging horizon —
+      // a constant, not a function of how many requests are offered.
+      PVR_REQUIRE(s.accounted() == s.submitted,
+                  "serve accounting identity broken at factor " +
+                      std::to_string(factor));
+      PVR_REQUIRE(p99 <= cfg.overload.shed_watermark_seconds + cold_s +
+                             8.0 * warm_s,
+                  "p99 escaped the shed-watermark bound at factor " +
+                      std::to_string(factor));
+      if (factor == 4.0) {
+        PVR_REQUIRE(report.cache.hit_rate() > 0.9,
+                    "shared cache absorbed <= 90% of brick probes at 4x");
+      }
+      table.add_row({pvr::fmt_f(factor, 1) + "x", pvr::fmt_f(p50, 4),
+                     pvr::fmt_f(p99, 4), std::to_string(s.served_full),
+                     std::to_string(s.served_degraded),
+                     std::to_string(s.served_stale),
+                     std::to_string(s.rejected()),
+                     pvr::fmt_f(report.cache.hit_rate(), 4),
+                     std::to_string(report.transitions.size())});
+      register_sim("serve/overload/" + pvr::fmt_f(factor, 0) + "x",
+                   report.stats.end_time, row_counters(report, p50, p99));
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- Sweep 3: cache capacity ladder over two datasets. Below one
+  // dataset's working set the cache degrades to streaming (bypasses, low
+  // hit rate); at one working set the datasets evict each other; at two
+  // both stay resident. ---
+  {
+    pvr::TextTable table("Serve S3 — cache capacity, 2 datasets, 8 sessions");
+    table.set_header({"capacity", "hit_rate", "evictions", "bypasses",
+                      "p99_s", "end_s"});
+    for (const double scale : {0.5, 1.0, 2.0}) {
+      ServiceConfig cfg = base_service(
+          std::int64_t(scale * 2.0 * double(dataset_bytes)));
+      cfg.datasets.push_back(
+          {"supernova-1120-b", pvrbench::paper_config(128, 1120, 1600)});
+      RenderService service(cfg);
+
+      WorkloadSpec spec;
+      spec.seed = 42;
+      spec.num_sessions = 8;
+      spec.num_datasets = 2;
+      spec.requests_per_session = 8;
+      spec.request_rate = 0.5 / warm_s;
+      spec.slo_seconds = 50.0 * warm_s;
+      const ServeReport report = service.run(Workload::generate(spec));
+
+      LatencyHistogram lat;
+      lat.record_all(report.latencies);
+      const double p50 = lat.p(50.0);
+      const double p99 = lat.p(99.0);
+      table.add_row({pvr::fmt_f(scale, 1) + "x both",
+                     pvr::fmt_f(report.cache.hit_rate(), 4),
+                     std::to_string(report.cache.evictions),
+                     std::to_string(report.cache.bypasses),
+                     pvr::fmt_f(p99, 4),
+                     pvr::fmt_f(report.stats.end_time, 3)});
+      register_sim("serve/capacity/" + pvr::fmt_f(scale, 1) + "x",
+                   report.stats.end_time, row_counters(report, p50, p99));
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- Sweep 4: a file server dies mid-run. The cache is smaller than the
+  // working set, so sweeps keep paying storage; fetches after the fault pay
+  // bounded exponential backoff plus the fault-priced collective read
+  // (failover extents), and the run completes with every request accounted.
+  // ---
+  {
+    pvr::TextTable table("Serve S4 — dead server mid-run, streaming cache");
+    table.set_header({"case", "p99_s", "retries", "backoff_s",
+                      "failover_extents", "end_s"});
+    for (const bool faulty : {false, true}) {
+      ServiceConfig cfg = base_service(dataset_bytes / 2);
+      RenderService service(cfg);
+      WorkloadSpec spec;
+      spec.seed = 42;
+      spec.num_sessions = 4;
+      spec.requests_per_session = 8;
+      spec.request_rate = 0.5 / cold_s;
+      spec.slo_seconds = 50.0 * cold_s;
+      const Workload workload = Workload::generate(spec);
+
+      std::vector<ServiceFault> faults;
+      if (faulty) {
+        ServiceFault fault;
+        fault.time = 4.0 * cold_s;  // several sweeps in
+        fault.plan.fail_server(0);
+        faults.push_back(fault);
+      }
+      const ServeReport report = service.run(workload, faults);
+
+      LatencyHistogram lat;
+      lat.record_all(report.latencies);
+      const double p50 = lat.p(50.0);
+      const double p99 = lat.p(99.0);
+      if (faulty) {
+        PVR_REQUIRE(report.stats.fetch_retries > 0 &&
+                        report.faults.failover_extents > 0,
+                    "dead-server fault produced no retry/failover work");
+      }
+      table.add_row({faulty ? "dead server" : "healthy",
+                     pvr::fmt_f(p99, 4),
+                     std::to_string(report.stats.fetch_retries),
+                     pvr::fmt_f(report.stats.backoff_seconds, 4),
+                     std::to_string(report.faults.failover_extents),
+                     pvr::fmt_f(report.stats.end_time, 3)});
+      register_sim(std::string("serve/fault/") +
+                       (faulty ? "dead_server" : "healthy"),
+                   report.stats.end_time, row_counters(report, p50, p99));
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // Bottleneck attribution of the acceptance case: a traced 4x-overload run
+  // lands its admission/queueing/backoff time in the `service` bucket while
+  // the sweeps' fetch and render phases book as storage and compute.
+  {
+    ServiceConfig cfg = base_service(2 * dataset_bytes);
+    cfg.overload.high_watermark_seconds = 2.0 * warm_s;
+    cfg.overload.stale_watermark_seconds = 4.0 * warm_s;
+    cfg.overload.shed_watermark_seconds = 8.0 * warm_s;
+    cfg.overload.low_watermark_seconds = 1.0 * warm_s;
+    RenderService service(cfg);
+    WorkloadSpec spec;
+    spec.seed = 42;
+    spec.num_sessions = 8;
+    spec.requests_per_session = 12;
+    spec.request_rate = 4.0 / (8.0 * warm_s);
+    spec.slo_seconds = 10.0 * warm_s;
+    spec.camera_buckets = 8;
+    spec.orbit_step = 6.283185307179586 / 8.0;
+    pvr::obs::Tracer tracer;
+    service.set_tracer(&tracer);
+    service.run(Workload::generate(spec));
+    record_profile("serve/overload/4x",
+                   pvr::profile::analyze_frame(tracer, 0));
+  }
+
+  std::puts(
+      "Takeaway: the shared brick cache turns N users into ~1 fetch, the\n"
+      "watermark ladder (degrade -> stale -> shed) bounds p99 under any\n"
+      "overload factor, and every request ends in exactly one recorded\n"
+      "outcome — nothing is dropped silently, even with a dead server.\n");
+  return run_benchmarks(argc, argv);
+}

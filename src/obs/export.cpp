@@ -240,14 +240,12 @@ std::string report(const Tracer& tracer, int top_n) {
   out += '\n';
   out += slow.str();
 
-  // --- Hot entries of every indexed counter (links, ranks, servers).
+  // --- Hot entries of every indexed counter (links, ranks, servers,
+  // datasets). hottest() totally orders ties by index, so the table is
+  // byte-identical across runs even when several entries share a value.
   for (const auto& [name, ic] : tracer.metrics().indexed_counters()) {
-    std::vector<std::pair<std::int64_t, std::int64_t>> entries(
-        ic.by_index.begin(), ic.by_index.end());
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.second > b.second;
-                     });
+    const std::vector<std::pair<std::int64_t, std::int64_t>> entries =
+        ic.hottest();
     TextTable hot("Top " + name + " (" + std::to_string(entries.size()) +
                   " entries)");
     hot.set_header({"index", "value"});

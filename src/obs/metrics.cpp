@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace pvr::obs {
@@ -38,6 +40,18 @@ std::pair<std::int64_t, std::int64_t> IndexedCounter::busiest() const {
     if (best.first < 0 || value > best.second) best = {index, value};
   }
   return best;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+IndexedCounter::hottest() const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> entries(by_index.begin(),
+                                                             by_index.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return entries;
 }
 
 void MetricsRegistry::clear() {

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pvr::obs {
 
@@ -66,6 +68,11 @@ struct IndexedCounter {
   std::int64_t total() const;
   /// (index, value) of the largest entry; {-1, 0} when empty.
   std::pair<std::int64_t, std::int64_t> busiest() const;
+  /// All entries hottest-first with a deterministic tie-break: value
+  /// descending, then index ascending. Two counters holding the same
+  /// contents always rank identically — the human report and the serve
+  /// hot-dataset table depend on this ordering being total.
+  std::vector<std::pair<std::int64_t, std::int64_t>> hottest() const;
 };
 
 class MetricsRegistry {

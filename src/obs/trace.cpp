@@ -17,6 +17,7 @@ const char* to_string(Category cat) {
     case Category::kFault: return "fault";
     case Category::kCheckpoint: return "ckpt";
     case Category::kSteal: return "steal";
+    case Category::kServe: return "serve";
     case Category::kOther: return "other";
   }
   return "other";

@@ -43,6 +43,7 @@ enum class Category {
   kFault,       ///< fault census / recovery actions
   kCheckpoint,  ///< checkpoint write / restart read / rollback phases
   kSteal,       ///< work-stealing claim / block-replication phases
+  kServe,       ///< render-service phases: admission, queueing, cache, idle
   kOther,
 };
 

@@ -10,6 +10,8 @@
 //   pvr::ckpt      — checkpoint/restart codec and Young/Daly intervals
 //   pvr::fault     — deterministic fault injection, plans and timelines
 //   pvr::steal     — deterministic render-stage work-stealing schedules
+//   pvr::serve     — multi-tenant render service: admission, degradation,
+//                    shared brick cache, deterministic overload behavior
 //   pvr::obs       — simulated-clock tracing, metrics, trace/metric export
 //   pvr::profile   — critical path, bottleneck attribution, perf gating
 //   pvr::runtime   — superstep rank runtime (execute & model modes)
@@ -59,6 +61,8 @@
 #include "render/simd/vec8.hpp"
 #include "render/transfer_function.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/cache.hpp"
+#include "serve/serve.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"

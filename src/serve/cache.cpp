@@ -1,0 +1,116 @@
+#include "serve/cache.hpp"
+
+#include "util/error.hpp"
+
+namespace pvr::serve {
+
+const char* to_string(CacheEventKind kind) {
+  switch (kind) {
+    case CacheEventKind::kHit: return "hit";
+    case CacheEventKind::kMiss: return "miss";
+    case CacheEventKind::kInsert: return "insert";
+    case CacheEventKind::kEvict: return "evict";
+    case CacheEventKind::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+LruBlockCache::LruBlockCache(std::int64_t capacity_bytes, bool log_events)
+    : capacity_(capacity_bytes), log_events_(log_events) {}
+
+void LruBlockCache::record(CacheEventKind kind, const CacheKey& key) {
+  if (log_events_) events_.push_back(CacheEvent{kind, key});
+}
+
+void LruBlockCache::touch(Entry& entry) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(entry.key);
+  entry.lru_it = lru_.begin();
+}
+
+bool LruBlockCache::probe(const CacheKey& key, std::int64_t bytes) {
+  PVR_REQUIRE(bytes > 0, "cache probe needs a positive brick size");
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    stats_.miss_bytes += bytes;
+    record(CacheEventKind::kMiss, key);
+    return false;
+  }
+  ++stats_.hits;
+  stats_.hit_bytes += it->second.bytes;
+  it->second.pinned = true;
+  touch(it->second);
+  record(CacheEventKind::kHit, key);
+  return true;
+}
+
+bool LruBlockCache::insert(const CacheKey& key, std::int64_t bytes) {
+  PVR_REQUIRE(bytes > 0, "cache insert needs a positive brick size");
+  if (map_.count(key) > 0) {
+    // Already resident (e.g. a concurrent waiter's fetch landed first);
+    // treat as a refresh, not a second copy.
+    Entry& entry = map_.at(key);
+    entry.pinned = true;
+    touch(entry);
+    return true;
+  }
+  if (bytes > capacity_) {
+    ++stats_.bypasses;
+    record(CacheEventKind::kBypass, key);
+    return false;
+  }
+  // Evict unpinned LRU victims until the new brick fits. Pinned in-flight
+  // entries are skipped — the current sweep's bricks are untouchable.
+  auto victim = lru_.end();
+  while (resident_ + bytes > capacity_) {
+    if (victim == lru_.begin()) {
+      // Nothing left to evict: everything resident is pinned.
+      ++stats_.bypasses;
+      record(CacheEventKind::kBypass, key);
+      return false;
+    }
+    --victim;
+    const Entry& candidate = map_.at(*victim);
+    if (candidate.pinned) continue;
+    const CacheKey victim_key = candidate.key;
+    resident_ -= candidate.bytes;
+    ++stats_.evictions;
+    stats_.evicted_bytes += candidate.bytes;
+    map_.erase(victim_key);
+    victim = lru_.erase(victim);  // points past the erased element
+    record(CacheEventKind::kEvict, victim_key);
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.key = key;
+  entry.bytes = bytes;
+  entry.pinned = true;
+  entry.lru_it = lru_.begin();
+  map_.emplace(key, entry);
+  resident_ += bytes;
+  ++stats_.inserts;
+  record(CacheEventKind::kInsert, key);
+  return true;
+}
+
+void LruBlockCache::unpin_all() {
+  for (auto& [key, entry] : map_) entry.pinned = false;
+}
+
+std::int64_t LruBlockCache::invalidate_dataset(std::int64_t dataset) {
+  std::int64_t dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.dataset != dataset || it->second.pinned) {
+      ++it;
+      continue;
+    }
+    resident_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    it = map_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace pvr::serve

@@ -1,0 +1,129 @@
+// Shared brick cache for the multi-tenant render service (DESIGN.md §10).
+//
+// The service's whole reason to exist is that a popular dataset should be
+// fetched from storage once, not once per user. LruBlockCache sits in front
+// of the collective-read price: entries are (dataset, block) bricks with
+// their ghosted byte size, capacity is a byte budget, and eviction is strict
+// LRU with two deterministic twists:
+//
+//   * pinned in-flight entries — the blocks of the sweep currently being
+//     rendered are pinned and can never be evicted by that sweep's own
+//     insertions (a sweep must not cannibalize bricks it is about to read);
+//   * capacity bypass — when an insert cannot fit even after evicting every
+//     unpinned entry, the brick is served but NOT cached (bypass), so a
+//     working set larger than the cache degrades to streaming instead of
+//     thrashing the pinned set or failing.
+//
+// Everything is deterministic: recency is an explicit intrusive list (no
+// hashes, no clocks), so the same probe/insert sequence always produces the
+// same hit/evict/bypass sequence — byte-identical across runs and host
+// thread counts, which the serve tests assert. An optional event log records
+// that sequence for exactly that comparison.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pvr::serve {
+
+/// One cached brick: a block of a named dataset.
+struct CacheKey {
+  std::int64_t dataset = 0;
+  std::int64_t block = 0;
+
+  auto operator<=>(const CacheKey&) const = default;
+};
+
+/// What happened at one cache touch, in touch order.
+enum class CacheEventKind {
+  kHit,      ///< probe found the brick resident
+  kMiss,     ///< probe missed; the caller fetches from storage
+  kInsert,   ///< fetched brick cached
+  kEvict,    ///< LRU victim dropped to make room
+  kBypass,   ///< fetched brick did not fit and was served uncached
+};
+
+const char* to_string(CacheEventKind kind);
+
+struct CacheEvent {
+  CacheEventKind kind = CacheEventKind::kHit;
+  CacheKey key;
+};
+
+/// Monotonic counters of everything the cache did.
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t inserts = 0;
+  std::int64_t evictions = 0;
+  std::int64_t bypasses = 0;      ///< fetched but never cached (no room)
+  std::int64_t hit_bytes = 0;
+  std::int64_t miss_bytes = 0;
+  std::int64_t evicted_bytes = 0;
+
+  double hit_rate() const {
+    const std::int64_t probes = hits + misses;
+    return probes > 0 ? double(hits) / double(probes) : 0.0;
+  }
+};
+
+class LruBlockCache {
+ public:
+  /// `capacity_bytes` <= 0 disables caching entirely: every probe misses
+  /// and every insert bypasses (a service with no cache budget still works,
+  /// it just pays storage for every sweep).
+  explicit LruBlockCache(std::int64_t capacity_bytes,
+                         bool log_events = false);
+
+  std::int64_t capacity_bytes() const { return capacity_; }
+  std::int64_t resident_bytes() const { return resident_; }
+  std::int64_t resident_entries() const { return std::int64_t(map_.size()); }
+
+  /// Looks the brick up and refreshes its recency on a hit. A hit also pins
+  /// the entry until the next unpin_all() — the caller is about to render
+  /// from it.
+  bool probe(const CacheKey& key, std::int64_t bytes);
+
+  /// Caches a fetched brick, evicting unpinned LRU victims while the budget
+  /// is exceeded. The new entry is pinned until unpin_all(). Returns false
+  /// (bypass) when the brick cannot fit even after evicting every unpinned
+  /// entry; the caller still owns a usable brick, it is just not resident.
+  bool insert(const CacheKey& key, std::int64_t bytes);
+
+  /// Releases every in-flight pin (call at sweep completion).
+  void unpin_all();
+
+  /// Drops every entry of one dataset (used when a dataset is republished);
+  /// pinned entries survive. Returns the number of entries dropped.
+  std::int64_t invalidate_dataset(std::int64_t dataset);
+
+  const CacheStats& stats() const { return stats_; }
+  /// Touch-ordered event log; empty unless constructed with log_events.
+  const std::vector<CacheEvent>& events() const { return events_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::int64_t bytes = 0;
+    bool pinned = false;
+    std::list<CacheKey>::iterator lru_it;  ///< position in recency list
+  };
+
+  void record(CacheEventKind kind, const CacheKey& key);
+  void touch(Entry& entry);
+
+  std::int64_t capacity_ = 0;
+  std::int64_t resident_ = 0;
+  bool log_events_ = false;
+  // Recency list: front = most recent, back = LRU victim candidate. The
+  // map owns the entries; the list holds keys only.
+  std::list<CacheKey> lru_;
+  std::map<CacheKey, Entry> map_;
+  CacheStats stats_;
+  std::vector<CacheEvent> events_;
+};
+
+}  // namespace pvr::serve

@@ -1,0 +1,885 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace pvr::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sums the recovery-work fields of one faulty fetch into the run total
+/// (census fields describe a plan, not work — they are not accumulated).
+void add_recovery(const fault::FaultStats& src, fault::FaultStats* dst) {
+  dst->retries += src.retries;
+  dst->reassigned_aggregators += src.reassigned_aggregators;
+  dst->rerouted_clients += src.rerouted_clients;
+  dst->failover_extents += src.failover_extents;
+  dst->undeliverable_messages += src.undeliverable_messages;
+  if (src.coverage < dst->coverage) dst->coverage = src.coverage;
+}
+
+}  // namespace
+
+const char* to_string(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kFull: return "full";
+    case ServiceLevel::kDegraded: return "degraded";
+    case ServiceLevel::kStale: return "stale";
+    case ServiceLevel::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kServedFull: return "served_full";
+    case Outcome::kServedDegraded: return "served_degraded";
+    case Outcome::kServedStale: return "served_stale";
+    case Outcome::kRejectedAdmission: return "rejected_admission";
+    case Outcome::kRejectedBackpressure: return "rejected_backpressure";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+
+Workload Workload::generate(const WorkloadSpec& spec) {
+  const auto fail = [](const std::string& field, double value,
+                       const std::string& hint) {
+    throw Error("invalid WorkloadSpec: " + field + " = " +
+                std::to_string(value) + "; " + hint);
+  };
+  if (spec.num_sessions <= 0) {
+    fail("num_sessions", double(spec.num_sessions), "need at least one user");
+  }
+  if (spec.num_datasets <= 0) {
+    fail("num_datasets", double(spec.num_datasets),
+         "need at least one dataset to request frames of");
+  }
+  if (spec.requests_per_session < 0) {
+    fail("requests_per_session", double(spec.requests_per_session),
+         "request count cannot be negative");
+  }
+  if (spec.request_rate <= 0.0) {
+    fail("request_rate", spec.request_rate,
+         "per-session request rate must be positive");
+  }
+  if (spec.slo_seconds <= 0.0) {
+    fail("slo_seconds", spec.slo_seconds, "deadline SLO must be positive");
+  }
+  if (spec.high_priority_fraction < 0.0 ||
+      spec.high_priority_fraction > 1.0) {
+    fail("high_priority_fraction", spec.high_priority_fraction,
+         "must be a fraction in [0, 1]");
+  }
+  if (spec.camera_buckets <= 0) {
+    fail("camera_buckets", double(spec.camera_buckets),
+         "camera quantization needs at least one bucket");
+  }
+
+  Workload w;
+  const std::int64_t high_sessions = std::int64_t(
+      std::ceil(spec.high_priority_fraction * double(spec.num_sessions)));
+  for (std::int64_t s = 0; s < spec.num_sessions; ++s) {
+    Session session;
+    session.id = s;
+    session.dataset = s % spec.num_datasets;
+    session.priority = s < high_sessions ? 0 : 1;
+    session.deadline_slo = spec.slo_seconds;
+    session.camera_phase = 0.0;
+    w.sessions.push_back(session);
+  }
+
+  // Per-session independent streams: adding a session never perturbs the
+  // arrival times of the others.
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  for (Session& session : w.sessions) {
+    Rng rng(hash_mix(spec.seed, std::uint64_t(session.id) + 1));
+    double t = 0.0;
+    double phase = session.camera_phase;
+    for (std::int64_t r = 0; r < spec.requests_per_session; ++r) {
+      const double u = rng.next_double();
+      t += -std::log1p(-u) / spec.request_rate;
+      FrameRequest req;
+      req.session = session.id;
+      req.dataset = session.dataset;
+      req.priority = session.priority;
+      req.arrival = t;
+      req.deadline = t + session.deadline_slo;
+      const double turns = phase / kTwoPi;
+      const double frac = turns - std::floor(turns);
+      req.camera_bucket =
+          std::int64_t(frac * double(spec.camera_buckets)) %
+          spec.camera_buckets;
+      w.requests.push_back(req);
+      phase += spec.orbit_step;
+    }
+    session.camera_phase = phase;
+  }
+
+  std::sort(w.requests.begin(), w.requests.end(),
+            [](const FrameRequest& a, const FrameRequest& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.session < b.session;
+            });
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    w.requests[i].id = std::int64_t(i);
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+
+void validate(const ServiceConfig& config) {
+  const auto fail = [](const std::string& field, double value,
+                       const std::string& hint) {
+    throw Error("invalid ServiceConfig: " + field + " = " +
+                std::to_string(value) + "; " + hint);
+  };
+  if (config.datasets.empty()) {
+    throw Error("invalid ServiceConfig: datasets is empty; the service "
+                "needs at least one dataset to serve");
+  }
+  for (std::size_t d = 0; d < config.datasets.size(); ++d) {
+    if (config.datasets[d].name.empty()) {
+      throw Error("invalid ServiceConfig: datasets[" + std::to_string(d) +
+                  "].name is empty; datasets are addressed by name");
+    }
+    for (std::size_t e = 0; e < d; ++e) {
+      if (config.datasets[e].name == config.datasets[d].name) {
+        throw Error("invalid ServiceConfig: duplicate dataset name \"" +
+                    config.datasets[d].name + "\"");
+      }
+    }
+    core::validate(config.datasets[d].config);
+  }
+  if (config.cache_capacity_bytes < 0) {
+    fail("cache_capacity_bytes", double(config.cache_capacity_bytes),
+         "cache budget cannot be negative (0 disables caching)");
+  }
+  if (config.degraded_step_scale < 1.0) {
+    fail("degraded_step_scale", config.degraded_step_scale,
+         "degraded sweeps cannot use a finer step than full quality");
+  }
+  if (config.stale_delivery_seconds < 0.0) {
+    fail("stale_delivery_seconds", config.stale_delivery_seconds,
+         "delivery latency cannot be negative");
+  }
+  if (config.fetch_max_retries < 0) {
+    fail("fetch_max_retries", double(config.fetch_max_retries),
+         "retry budget cannot be negative");
+  }
+  if (config.fetch_retry_backoff < 0.0) {
+    fail("fetch_retry_backoff", config.fetch_retry_backoff,
+         "backoff cannot be negative");
+  }
+  if (config.admission.rate_per_second > 0.0 &&
+      config.admission.burst < 1.0) {
+    fail("admission.burst", config.admission.burst,
+         "an enabled token bucket needs capacity for at least one token");
+  }
+  const OverloadConfig& o = config.overload;
+  const bool enabled = o.high_watermark_seconds > 0.0 ||
+                       o.stale_watermark_seconds > 0.0 ||
+                       o.shed_watermark_seconds > 0.0 ||
+                       o.low_watermark_seconds > 0.0;
+  if (enabled) {
+    if (!(o.low_watermark_seconds >= 0.0 &&
+          o.low_watermark_seconds < o.high_watermark_seconds &&
+          o.high_watermark_seconds <= o.stale_watermark_seconds &&
+          o.stale_watermark_seconds <= o.shed_watermark_seconds)) {
+      throw Error(
+          "invalid ServiceConfig: overload watermarks must satisfy 0 <= low"
+          " < high <= stale <= shed (got low " +
+          std::to_string(o.low_watermark_seconds) + ", high " +
+          std::to_string(o.high_watermark_seconds) + ", stale " +
+          std::to_string(o.stale_watermark_seconds) + ", shed " +
+          std::to_string(o.shed_watermark_seconds) +
+          "); set all four to 0 to disable overload degradation");
+    }
+  }
+  if (config.aging_interval_seconds < 0.0) {
+    fail("aging_interval_seconds", config.aging_interval_seconds,
+         "aging interval cannot be negative (0 disables aging)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dataset state: renderers + lazily computed modeled baselines
+
+struct RenderService::DatasetState {
+  std::string name;
+  std::unique_ptr<core::ParallelVolumeRenderer> full;
+  std::unique_ptr<core::ParallelVolumeRenderer> degraded;
+  std::vector<std::int64_t> block_bytes;  ///< ghosted brick bytes, by block
+  std::int64_t total_bytes = 0;
+  bool ever_fetched = false;  ///< a sweep of this dataset has paid the read
+
+  // Lazily computed healthy baselines (model mode, untraced; bit-identical
+  // across host thread counts by the PR-3 determinism contract).
+  std::optional<core::FrameStats> full_frame;      ///< model_frame()
+  std::optional<core::FrameStats> full_insitu;     ///< model_insitu_frame()
+  std::optional<core::FrameStats> degraded_insitu;
+  /// Fault-priced full frame per armed service-fault index.
+  std::map<std::int64_t, core::FrameStats> faulty_frame;
+
+  const core::FrameStats& healthy_frame() {
+    if (!full_frame) full_frame = full->model_frame();
+    return *full_frame;
+  }
+  const core::FrameStats& insitu(bool degraded_quality) {
+    if (degraded_quality) {
+      if (!degraded_insitu) degraded_insitu = degraded->model_insitu_frame();
+      return *degraded_insitu;
+    }
+    if (!full_insitu) full_insitu = full->model_insitu_frame();
+    return *full_insitu;
+  }
+  const core::FrameStats& faulty(std::int64_t fault_index,
+                                 const fault::FaultPlan& plan) {
+    const auto it = faulty_frame.find(fault_index);
+    if (it != faulty_frame.end()) return it->second;
+    return faulty_frame
+        .emplace(fault_index, full->model_frame_with_faults(plan))
+        .first->second;
+  }
+};
+
+RenderService::RenderService(const ServiceConfig& config) : config_(config) {
+  validate(config_);
+  for (const ServeDataset& ds : config_.datasets) {
+    auto state = std::make_unique<DatasetState>();
+    state->name = ds.name;
+    state->full = std::make_unique<core::ParallelVolumeRenderer>(ds.config);
+    core::ExperimentConfig degraded_cfg = ds.config;
+    degraded_cfg.render.step_voxels *= config_.degraded_step_scale;
+    state->degraded =
+        std::make_unique<core::ParallelVolumeRenderer>(degraded_cfg);
+    const std::int64_t element_bytes = ds.config.dataset.element_bytes;
+    for (const iolib::RankBlock& block : state->full->io_blocks()) {
+      const std::int64_t bytes = block.box.volume() * element_bytes;
+      state->block_bytes.push_back(bytes);
+      state->total_bytes += bytes;
+    }
+    PVR_REQUIRE(!state->block_bytes.empty(),
+                "dataset \"" + ds.name + "\" decomposes into zero blocks");
+    datasets_.push_back(std::move(state));
+  }
+}
+
+RenderService::~RenderService() = default;
+
+const core::ParallelVolumeRenderer& RenderService::renderer(
+    std::int64_t dataset) const {
+  PVR_REQUIRE(dataset >= 0 && dataset < std::int64_t(datasets_.size()),
+              "dataset index " + std::to_string(dataset) +
+                  " out of range (service has " +
+                  std::to_string(datasets_.size()) + " datasets)");
+  return *datasets_[std::size_t(dataset)]->full;
+}
+
+double RenderService::cold_sweep_seconds(std::int64_t dataset) {
+  PVR_REQUIRE(dataset >= 0 && dataset < std::int64_t(datasets_.size()),
+              "dataset index out of range");
+  return datasets_[std::size_t(dataset)]->healthy_frame().total_seconds();
+}
+
+double RenderService::warm_sweep_seconds(std::int64_t dataset) {
+  PVR_REQUIRE(dataset >= 0 && dataset < std::int64_t(datasets_.size()),
+              "dataset index out of range");
+  return datasets_[std::size_t(dataset)]->insitu(false).total_seconds();
+}
+
+// ---------------------------------------------------------------------------
+// The event loop
+
+namespace {
+
+/// A coalesced render batch: every waiter gets the same sweep's frame.
+struct Batch {
+  std::int64_t seq = 0;  ///< creation order; final scheduling tie-break
+  std::int64_t dataset = 0;
+  std::int64_t camera_bucket = 0;
+  int priority = 1;        ///< min over waiters
+  double deadline = kInf;  ///< min over waiters (EDF key)
+  double enqueue_time = 0.0;
+  double est_seconds = 0.0;  ///< backlog estimate, fixed at creation
+  std::vector<std::int64_t> waiters;
+};
+
+/// One clock-advancing phase of an in-flight sweep.
+struct SweepPhase {
+  const char* name = "";
+  obs::Category cat = obs::Category::kServe;
+  double seconds = 0.0;
+};
+
+struct InFlight {
+  Batch batch;
+  std::int64_t sweep_id = -1;
+  bool degraded_quality = false;
+  std::vector<SweepPhase> phases;
+  std::size_t phase = 0;
+  double phase_end = 0.0;
+  obs::Tracer::SpanId sweep_span = -1;
+  obs::Tracer::SpanId phase_span = -1;
+};
+
+/// Last completed frame per (dataset, camera bucket), for stale serving.
+struct StaleFrame {
+  std::int64_t sweep = -1;
+  double completed = 0.0;
+};
+
+}  // namespace
+
+ServeReport RenderService::run(const Workload& workload,
+                               const std::vector<ServiceFault>& faults) {
+  for (const FrameRequest& req : workload.requests) {
+    PVR_REQUIRE(req.dataset >= 0 &&
+                    req.dataset < std::int64_t(datasets_.size()),
+                "request " + std::to_string(req.id) + " names dataset " +
+                    std::to_string(req.dataset) + "; the service has " +
+                    std::to_string(datasets_.size()));
+  }
+  for (std::size_t f = 1; f < faults.size(); ++f) {
+    PVR_REQUIRE(faults[f - 1].time <= faults[f].time,
+                "service faults must be sorted by arrival time");
+  }
+
+  ServeReport report;
+  report.outcomes.assign(workload.requests.size(), RequestOutcome{});
+  ServeStats& stats = report.stats;
+
+  obs::Tracer* tracer = tracer_;
+  obs::MetricsRegistry* metrics =
+      tracer != nullptr ? &tracer->metrics() : nullptr;
+
+  LruBlockCache cache(config_.cache_capacity_bytes,
+                      config_.log_cache_events);
+
+  double now = 0.0;
+  const auto advance = [&](double seconds) {
+    if (seconds <= 0.0) return;
+    if (tracer != nullptr) tracer->advance(seconds);
+    now += seconds;
+  };
+
+  const obs::Tracer::SpanId run_span =
+      tracer != nullptr
+          ? tracer->begin("serve.run", obs::Category::kServe)
+          : -1;
+
+  // --- admission token bucket ---
+  const bool admission_enabled = config_.admission.rate_per_second > 0.0;
+  double tokens = config_.admission.burst;
+  double tokens_refilled_at = 0.0;
+  const auto take_token = [&]() {
+    if (!admission_enabled) return true;
+    tokens = std::min(config_.admission.burst,
+                      tokens + (now - tokens_refilled_at) *
+                                   config_.admission.rate_per_second);
+    tokens_refilled_at = now;
+    if (tokens < 1.0) return false;
+    tokens -= 1.0;
+    return true;
+  };
+
+  // --- overload level ---
+  const OverloadConfig& wm = config_.overload;
+  const bool overload_enabled = wm.high_watermark_seconds > 0.0;
+  ServiceLevel level = ServiceLevel::kFull;
+
+  // --- queue state ---
+  std::map<std::int64_t, Batch> pending;  ///< keyed by seq (creation order)
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t>
+      pending_by_key;  ///< (dataset, bucket) -> seq
+  std::optional<InFlight> in_flight;
+  std::int64_t next_seq = 0;
+  std::int64_t next_sweep = 0;
+  std::map<std::pair<std::int64_t, std::int64_t>, StaleFrame> stale_frames;
+
+  const fault::FaultPlan* armed_plan = nullptr;
+  std::int64_t armed_index = -1;
+
+  const auto backlog_seconds = [&]() {
+    double backlog = 0.0;
+    for (const auto& [seq, batch] : pending) backlog += batch.est_seconds;
+    if (in_flight.has_value()) {
+      backlog += in_flight->phase_end - now;
+      for (std::size_t p = in_flight->phase + 1;
+           p < in_flight->phases.size(); ++p) {
+        backlog += in_flight->phases[p].seconds;
+      }
+    }
+    return backlog;
+  };
+
+  const auto update_level = [&]() {
+    const double backlog = backlog_seconds();
+    if (backlog > stats.max_backlog_seconds) {
+      stats.max_backlog_seconds = backlog;
+    }
+    if (!overload_enabled) return;
+    ServiceLevel raw = ServiceLevel::kFull;
+    if (backlog >= wm.shed_watermark_seconds) {
+      raw = ServiceLevel::kShed;
+    } else if (backlog >= wm.stale_watermark_seconds) {
+      raw = ServiceLevel::kStale;
+    } else if (backlog >= wm.high_watermark_seconds) {
+      raw = ServiceLevel::kDegraded;
+    }
+    ServiceLevel next = level;
+    if (raw > level) {
+      next = raw;  // escalate immediately
+    } else if (raw < level && backlog <= wm.low_watermark_seconds) {
+      next = raw;  // relax only once the backlog has truly drained
+    }
+    if (next == level) return;
+    report.transitions.push_back(LevelTransition{now, level, next, backlog});
+    if (tracer != nullptr) {
+      tracer->instant("serve.level", obs::Category::kServe,
+                      {{"from", double(int(level))},
+                       {"to", double(int(next))},
+                       {"backlog_s", backlog}});
+      metrics->counter("serve.level_transitions").add(1);
+    }
+    level = next;
+  };
+
+  const auto serve_stale = [&](const FrameRequest& req,
+                               const StaleFrame& stale) {
+    RequestOutcome& out = report.outcomes[std::size_t(req.id)];
+    out.request = req.id;
+    out.session = req.session;
+    out.dataset = req.dataset;
+    out.outcome = Outcome::kServedStale;
+    out.sweep = stale.sweep;
+    out.arrival = req.arrival;
+    out.completion = now;
+    out.latency = config_.stale_delivery_seconds;
+    out.stale_age = now - stale.completed;
+    out.deadline_met = now + config_.stale_delivery_seconds <= req.deadline;
+    if (!out.deadline_met) ++stats.deadline_violations;
+    ++stats.served_stale;
+    report.latencies.push_back(out.latency);
+    if (tracer != nullptr) {
+      tracer->instant("serve.stale", obs::Category::kServe,
+                      {{"request", double(req.id)},
+                       {"age_s", out.stale_age}});
+      metrics->counter("serve.stale_frames").add(1);
+    }
+  };
+
+  const auto reject = [&](const FrameRequest& req, Outcome outcome) {
+    RequestOutcome& out = report.outcomes[std::size_t(req.id)];
+    out.request = req.id;
+    out.session = req.session;
+    out.dataset = req.dataset;
+    out.outcome = outcome;
+    out.arrival = req.arrival;
+    out.completion = now;
+    out.latency = 0.0;
+    if (outcome == Outcome::kRejectedAdmission) {
+      ++stats.rejected_admission;
+    } else {
+      ++stats.rejected_backpressure;
+    }
+    if (tracer != nullptr) {
+      tracer->instant("serve.reject", obs::Category::kServe,
+                      {{"request", double(req.id)},
+                       {"backpressure",
+                        outcome == Outcome::kRejectedBackpressure ? 1.0
+                                                                  : 0.0}});
+      metrics->counter(outcome == Outcome::kRejectedAdmission
+                           ? "serve.rejected_admission"
+                           : "serve.rejected_backpressure")
+          .add(1);
+    }
+  };
+
+  const auto process_arrival = [&](const FrameRequest& req) {
+    ++stats.submitted;
+    if (tracer != nullptr) {
+      metrics->indexed("serve.requests_by_dataset").add(req.dataset, 1);
+    }
+    const std::pair<std::int64_t, std::int64_t> key{req.dataset,
+                                                    req.camera_bucket};
+    // Coalescing first: riding an existing sweep consumes no render
+    // capacity and no token, so it is never rejected.
+    if (in_flight.has_value() && in_flight->batch.dataset == req.dataset &&
+        in_flight->batch.camera_bucket == req.camera_bucket) {
+      in_flight->batch.waiters.push_back(req.id);
+      ++stats.coalesced;
+      return;
+    }
+    if (const auto it = pending_by_key.find(key);
+        it != pending_by_key.end()) {
+      Batch& batch = pending.at(it->second);
+      batch.waiters.push_back(req.id);
+      batch.priority = std::min(batch.priority, req.priority);
+      batch.deadline = std::min(batch.deadline, req.deadline);
+      ++stats.coalesced;
+      return;
+    }
+    // A new batch is needed: walk the degradation ladder.
+    if (level >= ServiceLevel::kStale) {
+      if (const auto it = stale_frames.find(key);
+          it != stale_frames.end()) {
+        serve_stale(req, it->second);
+        update_level();
+        return;
+      }
+    }
+    if (level == ServiceLevel::kShed) {
+      reject(req, Outcome::kRejectedBackpressure);
+      update_level();
+      return;
+    }
+    if (!take_token()) {
+      reject(req, Outcome::kRejectedAdmission);
+      update_level();
+      return;
+    }
+    DatasetState& ds = *datasets_[std::size_t(req.dataset)];
+    Batch batch;
+    batch.seq = next_seq++;
+    batch.dataset = req.dataset;
+    batch.camera_bucket = req.camera_bucket;
+    batch.priority = req.priority;
+    batch.deadline = req.deadline;
+    batch.enqueue_time = now;
+    batch.est_seconds =
+        ds.insitu(false).total_seconds() +
+        (ds.ever_fetched ? 0.0 : ds.healthy_frame().io_seconds);
+    batch.waiters.push_back(req.id);
+    pending_by_key[key] = batch.seq;
+    pending.emplace(batch.seq, std::move(batch));
+    update_level();
+  };
+
+  const auto effective_priority = [&](const Batch& batch) {
+    if (config_.aging_interval_seconds <= 0.0) return batch.priority;
+    const int promoted = int((now - batch.enqueue_time) /
+                             config_.aging_interval_seconds);
+    return std::max(0, batch.priority - promoted);
+  };
+
+  const auto start_sweep = [&]() {
+    // Deadline-aware pick: lowest aged priority class first, then earliest
+    // deadline, then creation order — a total, deterministic order.
+    auto best = pending.end();
+    int best_priority = 0;
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      const int priority = effective_priority(it->second);
+      if (best == pending.end() || priority < best_priority ||
+          (priority == best_priority &&
+           it->second.deadline < best->second.deadline)) {
+        best = it;
+        best_priority = priority;
+      }
+    }
+    PVR_ASSERT(best != pending.end());
+    Batch batch = std::move(best->second);
+    pending_by_key.erase({batch.dataset, batch.camera_bucket});
+    pending.erase(best);
+
+    DatasetState& ds = *datasets_[std::size_t(batch.dataset)];
+    const bool degraded_quality = level >= ServiceLevel::kDegraded;
+
+    // Probe the shared cache for every brick of the dataset; fetch (and
+    // cache) the misses. Hits and the new inserts are pinned until the
+    // sweep completes.
+    const std::int64_t blocks = std::int64_t(ds.block_bytes.size());
+    std::int64_t hits = 0;
+    std::int64_t miss_bytes = 0;
+    const std::int64_t evictions_before = cache.stats().evictions;
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      const CacheKey key{batch.dataset, b};
+      const std::int64_t bytes = ds.block_bytes[std::size_t(b)];
+      if (cache.probe(key, bytes)) {
+        ++hits;
+      } else {
+        cache.insert(key, bytes);
+        miss_bytes += bytes;
+      }
+    }
+    const std::int64_t misses = blocks - hits;
+    const double miss_fraction = double(misses) / double(blocks);
+
+    // Price the fetch. Misses pay their fraction of the dataset's modeled
+    // collective read; an armed fault plan swaps in the fault-priced read
+    // (bounded retries + failover, exactly as iolib prices them) plus the
+    // service's own exponential backoff before the failover goes through.
+    double fetch_seconds = 0.0;
+    double backoff_seconds = 0.0;
+    std::int64_t retries = 0;
+    if (misses > 0) {
+      ds.ever_fetched = true;
+      if (armed_plan != nullptr && !armed_plan->empty()) {
+        const core::FrameStats& faulty = ds.faulty(armed_index, *armed_plan);
+        fetch_seconds = miss_fraction * faulty.io_seconds;
+        const fault::FaultStats census = armed_plan->census();
+        const bool storage_broken = census.failed_servers > 0 ||
+                                    census.degraded_servers > 0 ||
+                                    census.failed_ions > 0;
+        if (storage_broken) {
+          retries = config_.fetch_max_retries;
+          for (int attempt = 0; attempt < retries; ++attempt) {
+            backoff_seconds +=
+                config_.fetch_retry_backoff * double(1 << attempt);
+          }
+        }
+        add_recovery(faulty.faults, &report.faults);
+      } else {
+        fetch_seconds = miss_fraction * ds.healthy_frame().io_seconds;
+      }
+    }
+    const core::FrameStats& render_price = ds.insitu(degraded_quality);
+    const double render_seconds = render_price.total_seconds();
+
+    stats.fetch_retries += retries;
+    stats.backoff_seconds += backoff_seconds;
+    stats.busy_seconds += backoff_seconds + fetch_seconds + render_seconds;
+    ++stats.sweeps;
+    if (degraded_quality) ++stats.degraded_sweeps;
+
+    InFlight fl;
+    fl.batch = std::move(batch);
+    fl.sweep_id = next_sweep++;
+    fl.degraded_quality = degraded_quality;
+    if (backoff_seconds > 0.0) {
+      fl.phases.push_back(
+          {"serve.backoff", obs::Category::kServe, backoff_seconds});
+    }
+    if (fetch_seconds > 0.0) {
+      fl.phases.push_back(
+          {"serve.fetch", obs::Category::kStorage, fetch_seconds});
+    }
+    if (render_seconds > 0.0) {
+      fl.phases.push_back(
+          {"serve.render", obs::Category::kCompute, render_seconds});
+    }
+
+    if (tracer != nullptr) {
+      fl.sweep_span = tracer->begin("serve.sweep", obs::Category::kServe);
+      tracer->arg(fl.sweep_span, "dataset", double(fl.batch.dataset));
+      tracer->arg(fl.sweep_span, "camera_bucket",
+                  double(fl.batch.camera_bucket));
+      tracer->arg(fl.sweep_span, "degraded", degraded_quality ? 1.0 : 0.0);
+      tracer->arg(fl.sweep_span, "miss_fraction", miss_fraction);
+      metrics->counter("cache.hit").add(hits);
+      metrics->counter("cache.miss").add(misses);
+      metrics->counter("cache.evict").add(cache.stats().evictions -
+                                          evictions_before);
+      metrics->counter("cache.retry").add(retries);
+      metrics->indexed("serve.sweeps_by_dataset").add(fl.batch.dataset, 1);
+      metrics->indexed("cache.hits_by_dataset")
+          .add(fl.batch.dataset, hits);
+      metrics->indexed("cache.miss_bytes_by_dataset")
+          .add(fl.batch.dataset, miss_bytes);
+      metrics->gauge("cache.resident_bytes")
+          .set(double(cache.resident_bytes()));
+    }
+
+    if (fl.phases.empty()) {
+      // Degenerate zero-cost sweep: complete instantly (handled by the
+      // main loop seeing phase_end == now).
+      fl.phase_end = now;
+    } else {
+      fl.phase_end = now + fl.phases.front().seconds;
+      if (tracer != nullptr) {
+        fl.phase_span =
+            tracer->begin(fl.phases.front().name, fl.phases.front().cat);
+      }
+    }
+    in_flight = std::move(fl);
+    update_level();
+  };
+
+  const auto complete_sweep = [&]() {
+    InFlight fl = std::move(*in_flight);
+    in_flight.reset();
+    if (tracer != nullptr) {
+      tracer->arg(fl.sweep_span, "waiters", double(fl.batch.waiters.size()));
+      tracer->end(fl.sweep_span);
+    }
+    bool opener = true;
+    for (const std::int64_t req_id : fl.batch.waiters) {
+      const FrameRequest& req = workload.requests[std::size_t(req_id)];
+      RequestOutcome& out = report.outcomes[std::size_t(req_id)];
+      out.request = req.id;
+      out.session = req.session;
+      out.dataset = req.dataset;
+      out.outcome = fl.degraded_quality ? Outcome::kServedDegraded
+                                        : Outcome::kServedFull;
+      out.coalesced = !opener;
+      out.sweep = fl.sweep_id;
+      out.arrival = req.arrival;
+      out.completion = now;
+      out.latency = now - req.arrival;
+      out.deadline_met = now <= req.deadline + 1e-12;
+      if (!out.deadline_met) ++stats.deadline_violations;
+      if (fl.degraded_quality) {
+        ++stats.served_degraded;
+      } else {
+        ++stats.served_full;
+      }
+      report.latencies.push_back(out.latency);
+      opener = false;
+    }
+    stale_frames[{fl.batch.dataset, fl.batch.camera_bucket}] =
+        StaleFrame{fl.sweep_id, now};
+    cache.unpin_all();
+    update_level();
+  };
+
+  // --- main event loop ---
+  std::size_t next_arrival = 0;
+  std::size_t next_fault = 0;
+  while (true) {
+    if (!in_flight.has_value() && !pending.empty()) start_sweep();
+
+    const double t_arrival =
+        next_arrival < workload.requests.size()
+            ? workload.requests[next_arrival].arrival
+            : kInf;
+    const double t_fault =
+        next_fault < faults.size() ? faults[next_fault].time : kInf;
+    const double t_phase = in_flight.has_value() ? in_flight->phase_end
+                                                 : kInf;
+    const double t = std::min({t_arrival, t_fault, t_phase});
+    if (t == kInf) break;
+
+    if (t > now) {
+      if (in_flight.has_value()) {
+        advance(t - now);  // inside the open phase span
+      } else {
+        // Renderer idle until the next arrival/fault: an explicit span so
+        // idle time lands in the service bucket, not nowhere.
+        obs::ScopedSpan idle(tracer, "serve.idle", obs::Category::kServe);
+        stats.idle_seconds += t - now;
+        advance(t - now);
+      }
+    }
+
+    // Faults first, so a same-instant arrival sees the new plan.
+    while (next_fault < faults.size() && faults[next_fault].time <= now) {
+      armed_plan = &faults[next_fault].plan;
+      armed_index = std::int64_t(next_fault);
+      if (tracer != nullptr) {
+        const fault::FaultStats census = armed_plan->census();
+        tracer->instant("fault.arrival", obs::Category::kFault,
+                        {{"failed_servers", double(census.failed_servers)},
+                         {"failed_nodes", double(census.failed_nodes)}});
+      }
+      ++next_fault;
+    }
+    while (next_arrival < workload.requests.size() &&
+           workload.requests[next_arrival].arrival <= now) {
+      process_arrival(workload.requests[next_arrival]);
+      ++next_arrival;
+    }
+
+    if (in_flight.has_value() && in_flight->phase_end <= now) {
+      if (tracer != nullptr && in_flight->phase_span >= 0) {
+        tracer->end(in_flight->phase_span);
+        in_flight->phase_span = -1;
+      }
+      ++in_flight->phase;
+      if (in_flight->phase < in_flight->phases.size()) {
+        const SweepPhase& phase = in_flight->phases[in_flight->phase];
+        in_flight->phase_end = now + phase.seconds;
+        if (tracer != nullptr) {
+          in_flight->phase_span = tracer->begin(phase.name, phase.cat);
+        }
+      } else {
+        complete_sweep();
+      }
+    }
+  }
+
+  stats.end_time = now;
+  if (tracer != nullptr) tracer->end(run_span);
+
+  // The no-silent-drop contract: every submitted request has exactly one
+  // terminal outcome.
+  PVR_REQUIRE(stats.submitted == std::int64_t(workload.requests.size()),
+              "service lost arrivals: submitted " +
+                  std::to_string(stats.submitted) + " of " +
+                  std::to_string(workload.requests.size()));
+  PVR_REQUIRE(stats.accounted() == stats.submitted,
+              "request accounting broken: served " +
+                  std::to_string(stats.served()) + " + rejected " +
+                  std::to_string(stats.rejected()) + " != submitted " +
+                  std::to_string(stats.submitted));
+  for (const RequestOutcome& out : report.outcomes) {
+    PVR_REQUIRE(out.request >= 0, "a request was silently dropped");
+  }
+
+  report.cache = cache.stats();
+  report.cache_events = cache.events();
+  std::sort(report.latencies.begin(), report.latencies.end());
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+
+std::string ServeReport::summary() const {
+  TextTable table("Serve run summary");
+  table.set_header({"metric", "value"});
+  const auto add_int = [&](const char* name, std::int64_t v) {
+    table.add_row({name, std::to_string(v)});
+  };
+  const auto add_sec = [&](const char* name, double v) {
+    table.add_row({name, fmt_f(v, 6)});
+  };
+  add_int("submitted", stats.submitted);
+  add_int("served_full", stats.served_full);
+  add_int("served_degraded", stats.served_degraded);
+  add_int("served_stale", stats.served_stale);
+  add_int("rejected_admission", stats.rejected_admission);
+  add_int("rejected_backpressure", stats.rejected_backpressure);
+  add_int("coalesced", stats.coalesced);
+  add_int("sweeps", stats.sweeps);
+  add_int("degraded_sweeps", stats.degraded_sweeps);
+  add_int("deadline_violations", stats.deadline_violations);
+  add_int("fetch_retries", stats.fetch_retries);
+  add_int("cache_hits", cache.hits);
+  add_int("cache_misses", cache.misses);
+  add_int("cache_evictions", cache.evictions);
+  add_int("cache_bypasses", cache.bypasses);
+  add_int("level_transitions", std::int64_t(transitions.size()));
+  add_sec("cache_hit_rate", cache.hit_rate());
+  add_sec("busy_seconds", stats.busy_seconds);
+  add_sec("idle_seconds", stats.idle_seconds);
+  add_sec("backoff_seconds", stats.backoff_seconds);
+  add_sec("end_time", stats.end_time);
+  add_sec("max_backlog_seconds", stats.max_backlog_seconds);
+  std::string out = table.str();
+  out += "outcomes:";
+  for (const RequestOutcome& o : outcomes) {
+    out += "\n  #" + std::to_string(o.request) + " s" +
+           std::to_string(o.session) + " d" + std::to_string(o.dataset) +
+           " " + to_string(o.outcome) + " sweep " +
+           std::to_string(o.sweep) + " latency " + fmt_f(o.latency, 6) +
+           (o.coalesced ? " coalesced" : "") +
+           (o.deadline_met ? "" : " LATE");
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace pvr::serve

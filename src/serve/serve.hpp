@@ -1,0 +1,312 @@
+// Overload-robust multi-tenant render service (DESIGN.md §10).
+//
+// The paper studies one frame pipeline at a time; the ROADMAP north star is
+// a service where many concurrent users request frames of shared datasets.
+// This module is that session/job layer, built on the simulated clock so
+// every run — arrivals, admission, scheduling, degradation, cache behavior,
+// fault recovery — is deterministic and byte-identical across hosts and
+// host thread counts.
+//
+// Architecture (one deterministic discrete-event loop):
+//
+//   * Sessions & jobs — a Session owns per-session camera state (an orbit
+//     phase), a priority class, and a frame-deadline SLO; a seeded
+//     WorkloadGenerator turns a spec (sessions × datasets × request rate)
+//     into a reproducible arrival trace of FrameRequests.
+//   * Admission control — a token bucket gates new render batches;
+//     rejections are counted loudly (rejected_admission), never dropped
+//     silently. Coalescing joins are free: a request for a
+//     (dataset, camera-bucket) pair already queued or in flight rides the
+//     existing sweep and pays no token.
+//   * Scheduling — earliest-deadline-first within priority class, with
+//     deterministic tie-breaks (batch sequence number) and time-based
+//     aging so sustained overload cannot starve low-priority sessions.
+//   * Graceful degradation — a watermark overload detector with hysteresis
+//     walks a defined ladder: full quality -> degraded quality (reduced
+//     sample budget via a coarser ray step) -> serve stale cached frames ->
+//     reject with backpressure. Every transition is recorded (stats,
+//     serve.level instants).
+//   * Shared brick cache — an LruBlockCache in front of the collective-read
+//     price: a popular dataset is fetched once, not per user. Fetches under
+//     an armed FaultPlan pay bounded exponential backoff and the
+//     fault-priced collective read (dead-server failover exactly as the
+//     existing iolib machinery prices it).
+//
+// Frame prices come from core::ParallelVolumeRenderer frame methods,
+// unchanged: a sweep whose bricks are all resident prices as
+// model_insitu_frame (no I/O stage — the data is in the cache), a miss pays
+// the miss fraction of the dataset's modeled collective read
+// (model_frame / model_frame_with_faults I/O stage). Degraded sweeps use a
+// renderer whose ray step is scaled up, i.e. a genuinely reduced sample
+// budget, not a fudge factor.
+//
+// Robustness contract (asserted by tests and bench_serve): every submitted
+// request ends in exactly one recorded outcome — served (full, degraded, or
+// stale) or rejected (admission or backpressure); served + shed + rejected
+// == submitted at every overload factor, and the backlog the scheduler may
+// accumulate is bounded by the shed watermark, so p99 latency stays bounded
+// however hard the service is overdriven.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/trace.hpp"
+#include "serve/cache.hpp"
+
+namespace pvr::serve {
+
+// ---------------------------------------------------------------------------
+// Sessions, requests, workload
+
+/// One tenant: a user holding a camera over one dataset.
+struct Session {
+  std::int64_t id = 0;
+  std::int64_t dataset = 0;   ///< index into ServiceConfig::datasets
+  int priority = 1;           ///< 0 = highest (interactive), larger = lower
+  double deadline_slo = 5.0;  ///< per-request deadline, seconds from arrival
+  double camera_phase = 0.0;  ///< orbit angle state, advanced per request
+};
+
+/// One frame request on the arrival trace.
+struct FrameRequest {
+  std::int64_t id = 0;       ///< dense index into the trace (and outcomes)
+  std::int64_t session = 0;
+  std::int64_t dataset = 0;
+  int priority = 1;
+  std::int64_t camera_bucket = 0;  ///< quantized orbit angle
+  double arrival = 0.0;
+  double deadline = 0.0;     ///< arrival + session SLO
+};
+
+/// Arrival-trace generator knobs. Same spec + seed => same trace, byte for
+/// byte; per-session draws are independent streams, so adding a session
+/// never perturbs the others.
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+  std::int64_t num_sessions = 4;
+  std::int64_t num_datasets = 1;        ///< sessions round-robin over these
+  std::int64_t requests_per_session = 8;
+  /// Mean request rate per session (requests per simulated second);
+  /// interarrivals are exponential.
+  double request_rate = 1.0;
+  double slo_seconds = 5.0;             ///< deadline SLO for every session
+  /// Fraction of sessions in priority class 0 (the rest are class 1).
+  double high_priority_fraction = 0.25;
+  /// Camera orbit quantization: requests in the same bucket coalesce.
+  std::int64_t camera_buckets = 8;
+  /// Orbit phase advance per request, radians. 0 = static cameras (maximum
+  /// coalescing); 2*pi/num_buckets steps one bucket per request.
+  double orbit_step = 0.0;
+};
+
+struct Workload {
+  std::vector<Session> sessions;
+  std::vector<FrameRequest> requests;  ///< sorted by (arrival, id)
+
+  /// Deterministic trace from the spec (see WorkloadSpec docs).
+  static Workload generate(const WorkloadSpec& spec);
+};
+
+// ---------------------------------------------------------------------------
+// Service configuration
+
+/// A named dataset the service can render. The config's dataset/machine
+/// fields describe what a sweep of it costs; host_threads and tracing are
+/// free to vary without changing any modeled number.
+struct ServeDataset {
+  std::string name;
+  core::ExperimentConfig config;
+};
+
+/// Token-bucket admission control for new render batches.
+struct AdmissionConfig {
+  /// Token refill rate (new batches per simulated second). <= 0 disables
+  /// admission control: every request is admitted.
+  double rate_per_second = 0.0;
+  double burst = 8.0;  ///< bucket capacity (initial tokens)
+};
+
+/// Watermark overload detector with hysteresis. Backlog is the modeled
+/// seconds of work queued + in flight. Escalation is immediate at each
+/// watermark; de-escalation happens only once the backlog falls back below
+/// low_watermark_seconds (the hysteresis band), and resets to level 0.
+struct OverloadConfig {
+  double high_watermark_seconds = 0.0;   ///< level 1: degraded quality
+  double stale_watermark_seconds = 0.0;  ///< level 2: serve stale frames
+  double shed_watermark_seconds = 0.0;   ///< level 3: reject (backpressure)
+  double low_watermark_seconds = 0.0;    ///< relax back to level 0 below this
+};
+
+/// The degradation ladder's rungs, in escalation order.
+enum class ServiceLevel {
+  kFull = 0,      ///< full-quality sweeps
+  kDegraded = 1,  ///< reduced sample budget (coarser ray step)
+  kStale = 2,     ///< degraded sweeps + stale frames for new arrivals
+  kShed = 3,      ///< degraded + stale + reject what cannot be absorbed
+};
+
+const char* to_string(ServiceLevel level);
+
+struct ServiceConfig {
+  std::vector<ServeDataset> datasets;
+  /// Shared brick cache budget; 0 disables caching (every sweep pays the
+  /// full collective read).
+  std::int64_t cache_capacity_bytes = 0;
+  AdmissionConfig admission;
+  OverloadConfig overload;
+  /// Ray-step multiplier for degraded sweeps (> 1 reduces the sample
+  /// budget; 2.0 halves it along each ray).
+  double degraded_step_scale = 2.0;
+  /// Modeled delivery latency of a stale cached frame (no render work).
+  double stale_delivery_seconds = 1e-3;
+  /// Bounded retry/backoff a fetch pays when an armed fault plan breaks
+  /// storage: attempt k stalls fetch_retry_backoff * 2^(k-1) seconds before
+  /// the priced failover read goes through.
+  int fetch_max_retries = 3;
+  double fetch_retry_backoff = 0.002;
+  /// Every full interval a batch has waited promotes it one priority class
+  /// (anti-starvation aging). <= 0 disables aging.
+  double aging_interval_seconds = 0.0;
+  /// Record the cache's per-touch event log in the report (tests use this
+  /// to pin hit/evict sequences byte-for-byte).
+  bool log_cache_events = false;
+};
+
+/// Fail-loud validation; throws pvr::Error naming the offending field.
+void validate(const ServiceConfig& config);
+
+/// A mid-run fault arrival: at simulated time `time` the plan becomes the
+/// armed truth about what is broken (an empty plan models a repair).
+struct ServiceFault {
+  double time = 0.0;
+  fault::FaultPlan plan;
+};
+
+// ---------------------------------------------------------------------------
+// Outcomes & stats
+
+enum class Outcome {
+  kServedFull,
+  kServedDegraded,
+  kServedStale,
+  kRejectedAdmission,    ///< token bucket empty
+  kRejectedBackpressure, ///< shed level, no stale frame to fall back on
+};
+
+const char* to_string(Outcome outcome);
+
+/// The terminal record of one request. Every submitted request gets exactly
+/// one — the no-silent-drop invariant the run enforces.
+struct RequestOutcome {
+  std::int64_t request = -1;
+  std::int64_t session = -1;
+  std::int64_t dataset = -1;
+  Outcome outcome = Outcome::kRejectedAdmission;
+  bool coalesced = false;    ///< rode a batch it did not open
+  std::int64_t sweep = -1;   ///< frame identity; -1 for rejects
+  double arrival = 0.0;
+  double completion = 0.0;   ///< == arrival for rejects
+  double latency = 0.0;      ///< completion - arrival (stale: delivery cost)
+  double stale_age = 0.0;    ///< age of the stale frame served, else 0
+  bool deadline_met = true;  ///< rejects count as met (nothing promised)
+};
+
+/// One degradation-ladder transition, in time order.
+struct LevelTransition {
+  double time = 0.0;
+  ServiceLevel from = ServiceLevel::kFull;
+  ServiceLevel to = ServiceLevel::kFull;
+  double backlog_seconds = 0.0;
+};
+
+struct ServeStats {
+  std::int64_t submitted = 0;
+  std::int64_t served_full = 0;
+  std::int64_t served_degraded = 0;
+  std::int64_t served_stale = 0;
+  std::int64_t rejected_admission = 0;
+  std::int64_t rejected_backpressure = 0;
+  std::int64_t coalesced = 0;  ///< requests that rode an existing batch
+  std::int64_t sweeps = 0;     ///< render sweeps actually executed
+  std::int64_t degraded_sweeps = 0;
+  std::int64_t deadline_violations = 0;
+  std::int64_t fetch_retries = 0;  ///< backoff attempts under armed faults
+  double busy_seconds = 0.0;       ///< renderer-occupied simulated time
+  double idle_seconds = 0.0;
+  double backoff_seconds = 0.0;
+  double end_time = 0.0;           ///< completion of the last event
+  double max_backlog_seconds = 0.0;
+
+  std::int64_t served() const {
+    return served_full + served_degraded + served_stale;
+  }
+  std::int64_t shed() const { return served_stale; }
+  std::int64_t rejected() const {
+    return rejected_admission + rejected_backpressure;
+  }
+  /// The no-silent-drop identity (PVR_REQUIREd at end of run).
+  std::int64_t accounted() const { return served() + rejected(); }
+};
+
+struct ServeReport {
+  ServeStats stats;
+  CacheStats cache;
+  std::vector<RequestOutcome> outcomes;     ///< indexed by request id
+  std::vector<LevelTransition> transitions; ///< degradation ladder history
+  std::vector<CacheEvent> cache_events;     ///< when log_cache_events
+  fault::FaultStats faults;  ///< accumulated recovery work of faulty fetches
+  /// Served-request latencies, sorted ascending (feeds percentile rows).
+  std::vector<double> latencies;
+
+  /// Deterministic multi-line summary (used by tests to pin byte-identity
+  /// across host thread counts).
+  std::string summary() const;
+};
+
+// ---------------------------------------------------------------------------
+// The service
+
+class RenderService {
+ public:
+  explicit RenderService(const ServiceConfig& config);
+  ~RenderService();
+
+  const ServiceConfig& config() const { return config_; }
+  /// The renderer behind one dataset (tests use its partition/storage to
+  /// build fault plans that match the modeled machine).
+  const core::ParallelVolumeRenderer& renderer(std::int64_t dataset) const;
+
+  /// Attaches (or detaches with nullptr) a simulated-clock tracer: the run
+  /// then emits a serve.run root span with serve.sweep / serve.fetch /
+  /// serve.render / serve.idle children, arrival and level-transition
+  /// instants, and cache.* / serve.* metrics. Borrowed; must outlive run().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Runs one workload to completion and returns the full report. `faults`
+  /// is an optional time-sorted list of mid-run fault arrivals. Every call
+  /// starts from a fresh service state (empty cache, full token bucket,
+  /// level kFull); the same inputs always produce the same report.
+  ServeReport run(const Workload& workload,
+                  const std::vector<ServiceFault>& faults = {});
+
+  /// Modeled cost of one full-quality sweep of `dataset` with a cold cache
+  /// (fetch + render + composite) — the capacity number benches use to
+  /// derive overload factors.
+  double cold_sweep_seconds(std::int64_t dataset);
+  /// Same with every brick resident (render + composite only).
+  double warm_sweep_seconds(std::int64_t dataset);
+
+ private:
+  struct DatasetState;
+
+  ServiceConfig config_;
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<std::unique_ptr<DatasetState>> datasets_;
+};
+
+}  // namespace pvr::serve

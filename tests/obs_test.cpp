@@ -87,6 +87,35 @@ TEST(MetricsTest, IndexedCounterTracksBusiest) {
   EXPECT_EQ(c.busiest().second, 25);
 }
 
+TEST(MetricsTest, HottestOrdersByValueThenIndexDeterministically) {
+  IndexedCounter c;
+  c.add(9, 5);
+  c.add(2, 12);
+  c.add(5, 5);   // ties with index 9: index ascending breaks the tie
+  c.add(1, 5);
+  c.add(4, 30);
+  const auto ranked = c.hottest();
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0], (std::pair<std::int64_t, std::int64_t>{4, 30}));
+  EXPECT_EQ(ranked[1], (std::pair<std::int64_t, std::int64_t>{2, 12}));
+  // The 5-valued tie group is totally ordered by index.
+  EXPECT_EQ(ranked[2].first, 1);
+  EXPECT_EQ(ranked[3].first, 5);
+  EXPECT_EQ(ranked[4].first, 9);
+
+  // Two counters holding the same contents (built in different insertion
+  // orders) rank identically — the ordering is a pure function of state.
+  IndexedCounter d;
+  d.add(1, 5);
+  d.add(4, 30);
+  d.add(5, 5);
+  d.add(9, 5);
+  d.add(2, 12);
+  EXPECT_EQ(c.hottest(), d.hottest());
+
+  EXPECT_TRUE(IndexedCounter{}.hottest().empty());
+}
+
 // --- pipeline integration ---
 
 TEST(ObsPipelineTest, TwoRunsProduceByteIdenticalTraceJson) {

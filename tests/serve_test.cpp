@@ -1,0 +1,533 @@
+// Tests for the multi-tenant render service (DESIGN.md §10): the shared
+// brick cache's deterministic LRU/pin/bypass behavior, workload generation,
+// admission control, coalescing, the degradation ladder with hysteresis,
+// anti-starvation aging, mid-run fault absorption, and byte-identity of the
+// whole report + trace across host thread counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pvr.hpp"
+
+namespace {
+
+using namespace pvr;
+using namespace pvr::serve;
+using core::ExperimentConfig;
+using core::ParallelVolumeRenderer;
+
+ExperimentConfig small_config(std::int64_t ranks) {
+  ExperimentConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.dataset = format::supernova_desc(format::FileFormat::kRaw, 24);
+  cfg.variable = "pressure";
+  cfg.image_width = cfg.image_height = 48;
+  cfg.composite.policy = compose::CompositorPolicy::kImproved;
+  return cfg;
+}
+
+ServiceConfig small_service(std::int64_t cache_capacity_bytes,
+                            int num_datasets = 1) {
+  ServiceConfig cfg;
+  for (int d = 0; d < num_datasets; ++d) {
+    cfg.datasets.push_back(
+        {"ds" + std::to_string(d), small_config(8)});
+  }
+  cfg.cache_capacity_bytes = cache_capacity_bytes;
+  cfg.log_cache_events = true;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// LruBlockCache
+
+TEST(LruBlockCacheTest, HitRefreshesRecencyAndEvictsLru) {
+  LruBlockCache cache(300, /*log_events=*/true);
+  EXPECT_FALSE(cache.probe({0, 0}, 100));
+  EXPECT_TRUE(cache.insert({0, 0}, 100));
+  EXPECT_FALSE(cache.probe({0, 1}, 100));
+  EXPECT_TRUE(cache.insert({0, 1}, 100));
+  EXPECT_FALSE(cache.probe({0, 2}, 100));
+  EXPECT_TRUE(cache.insert({0, 2}, 100));
+  cache.unpin_all();
+
+  // Touch block 0: block 1 becomes the LRU victim.
+  EXPECT_TRUE(cache.probe({0, 0}, 100));
+  cache.unpin_all();
+  EXPECT_TRUE(cache.insert({0, 3}, 100));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_FALSE(cache.probe({0, 1}, 100));  // evicted
+  EXPECT_TRUE(cache.probe({0, 0}, 100));   // survived (was touched)
+  EXPECT_TRUE(cache.probe({0, 2}, 100));
+
+  // The event log pins the exact sequence.
+  const std::vector<CacheEvent>& ev = cache.events();
+  ASSERT_GE(ev.size(), 2u);
+  bool saw_evict_of_1 = false;
+  for (const CacheEvent& e : ev) {
+    if (e.kind == CacheEventKind::kEvict) {
+      EXPECT_EQ(e.key.block, 1);
+      saw_evict_of_1 = true;
+    }
+  }
+  EXPECT_TRUE(saw_evict_of_1);
+}
+
+TEST(LruBlockCacheTest, PinnedEntriesAreNeverEvicted) {
+  LruBlockCache cache(200);
+  EXPECT_TRUE(cache.insert({0, 0}, 100));  // pinned by insert
+  EXPECT_TRUE(cache.insert({0, 1}, 100));  // pinned by insert
+  // Everything resident is pinned: the new brick must bypass, not evict.
+  EXPECT_FALSE(cache.insert({0, 2}, 100));
+  EXPECT_EQ(cache.stats().bypasses, 1);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.resident_bytes(), 200);
+
+  cache.unpin_all();
+  EXPECT_TRUE(cache.insert({0, 3}, 100));  // now eviction works
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(LruBlockCacheTest, OversizedBrickAndZeroCapacityBypass) {
+  LruBlockCache cache(100);
+  EXPECT_FALSE(cache.insert({0, 0}, 101));  // larger than the whole budget
+  EXPECT_EQ(cache.stats().bypasses, 1);
+
+  LruBlockCache disabled(0);
+  EXPECT_FALSE(disabled.probe({0, 0}, 10));
+  EXPECT_FALSE(disabled.insert({0, 0}, 10));
+  EXPECT_EQ(disabled.stats().bypasses, 1);
+  EXPECT_EQ(disabled.resident_bytes(), 0);
+}
+
+TEST(LruBlockCacheTest, InvalidateDatasetDropsOnlyThatDataset) {
+  LruBlockCache cache(1000);
+  cache.insert({0, 0}, 100);
+  cache.insert({1, 0}, 100);
+  cache.insert({1, 1}, 100);
+  cache.unpin_all();
+  EXPECT_EQ(cache.invalidate_dataset(1), 2);
+  EXPECT_EQ(cache.resident_entries(), 1);
+  EXPECT_TRUE(cache.probe({0, 0}, 100));
+  EXPECT_FALSE(cache.probe({1, 0}, 100));
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+
+TEST(WorkloadTest, DeterministicAndSorted) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  spec.num_sessions = 5;
+  spec.requests_per_session = 6;
+  spec.orbit_step = 0.7;
+  const Workload a = Workload::generate(spec);
+  const Workload b = Workload::generate(spec);
+  ASSERT_EQ(a.requests.size(), 30u);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, std::int64_t(i));
+    EXPECT_EQ(a.requests[i].arrival, b.requests[i].arrival);
+    EXPECT_EQ(a.requests[i].session, b.requests[i].session);
+    EXPECT_EQ(a.requests[i].camera_bucket, b.requests[i].camera_bucket);
+    if (i > 0) {
+      EXPECT_GE(a.requests[i].arrival, a.requests[i - 1].arrival);
+    }
+  }
+}
+
+TEST(WorkloadTest, PerSessionStreamsAreIndependent) {
+  WorkloadSpec spec;
+  spec.seed = 11;
+  spec.num_sessions = 2;
+  spec.requests_per_session = 8;
+  const Workload small = Workload::generate(spec);
+  spec.num_sessions = 3;
+  const Workload big = Workload::generate(spec);
+
+  // Adding session 2 must not perturb sessions 0 and 1's arrival times.
+  for (std::int64_t s = 0; s < 2; ++s) {
+    std::vector<double> from_small;
+    std::vector<double> from_big;
+    for (const FrameRequest& r : small.requests) {
+      if (r.session == s) from_small.push_back(r.arrival);
+    }
+    for (const FrameRequest& r : big.requests) {
+      if (r.session == s) from_big.push_back(r.arrival);
+    }
+    EXPECT_EQ(from_small, from_big);
+  }
+}
+
+TEST(WorkloadTest, PriorityFractionAndValidation) {
+  WorkloadSpec spec;
+  spec.num_sessions = 8;
+  spec.high_priority_fraction = 0.25;
+  const Workload w = Workload::generate(spec);
+  int high = 0;
+  for (const Session& s : w.sessions) high += s.priority == 0 ? 1 : 0;
+  EXPECT_EQ(high, 2);
+
+  spec.request_rate = 0.0;
+  EXPECT_THROW(Workload::generate(spec), Error);
+  spec.request_rate = 1.0;
+  spec.num_sessions = 0;
+  EXPECT_THROW(Workload::generate(spec), Error);
+}
+
+TEST(ServiceConfigTest, ValidationFailsLoudly) {
+  ServiceConfig empty;
+  EXPECT_THROW(validate(empty), Error);
+
+  ServiceConfig cfg = small_service(0);
+  cfg.degraded_step_scale = 0.5;
+  EXPECT_THROW(validate(cfg), Error);
+
+  cfg = small_service(0);
+  cfg.overload.high_watermark_seconds = 2.0;
+  cfg.overload.stale_watermark_seconds = 1.0;  // stale < high: bad
+  cfg.overload.shed_watermark_seconds = 3.0;
+  EXPECT_THROW(validate(cfg), Error);
+
+  cfg = small_service(0);
+  cfg.datasets.push_back(cfg.datasets.front());  // duplicate name
+  EXPECT_THROW(validate(cfg), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing
+
+TEST(ServeTest, CoalescedWaitersGetTheIdenticalFrame) {
+  RenderService service(small_service(1 << 30));
+  WorkloadSpec spec;
+  spec.seed = 3;
+  spec.num_sessions = 6;
+  spec.requests_per_session = 4;
+  // Arrivals much faster than a sweep: everything queues behind the first
+  // sweep and coalesces per camera bucket.
+  spec.request_rate = 100.0 / service.warm_sweep_seconds(0);
+  spec.slo_seconds = 1e6;
+  const Workload workload = Workload::generate(spec);
+  const ServeReport report = service.run(workload);
+
+  EXPECT_EQ(report.stats.accounted(), report.stats.submitted);
+  EXPECT_GT(report.stats.coalesced, 0);
+  // All waiters of one sweep got the same frame (same sweep id), and each
+  // batch has exactly one non-coalesced opener.
+  std::map<std::int64_t, int> openers;
+  std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> sweep_key;
+  for (const RequestOutcome& out : report.outcomes) {
+    ASSERT_GE(out.sweep, 0);
+    if (!out.coalesced) openers[out.sweep] += 1;
+    const FrameRequest& req = workload.requests[std::size_t(out.request)];
+    const auto key = std::pair{req.dataset, req.camera_bucket};
+    const auto it = sweep_key.find(out.sweep);
+    if (it == sweep_key.end()) {
+      sweep_key.emplace(out.sweep, key);
+    } else {
+      // One sweep == one (dataset, camera bucket): identical frame.
+      EXPECT_EQ(it->second, key);
+    }
+  }
+  for (const auto& [sweep, count] : openers) EXPECT_EQ(count, 1);
+  EXPECT_EQ(std::int64_t(openers.size()), report.stats.sweeps);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(ServeTest, TokenBucketRejectsBeyondBurstAndRefills) {
+  ServiceConfig cfg = small_service(1 << 30);
+  cfg.admission.rate_per_second = 0.01;  // ~no refill over the run
+  cfg.admission.burst = 2.0;
+  RenderService service(cfg);
+
+  // Six same-instant arrivals in six distinct buckets: two admitted (the
+  // burst), four rejected loudly.
+  Workload workload;
+  for (std::int64_t i = 0; i < 6; ++i) {
+    FrameRequest req;
+    req.id = i;
+    req.session = i;
+    req.dataset = 0;
+    req.camera_bucket = i;
+    req.arrival = 0.0;
+    req.deadline = 1e9;
+    workload.requests.push_back(req);
+  }
+  const ServeReport report = service.run(workload);
+  EXPECT_EQ(report.stats.rejected_admission, 4);
+  EXPECT_EQ(report.stats.served_full, 2);
+  EXPECT_EQ(report.stats.accounted(), 6);
+  for (const RequestOutcome& out : report.outcomes) {
+    if (out.outcome == Outcome::kRejectedAdmission) {
+      EXPECT_EQ(out.latency, 0.0);
+      EXPECT_TRUE(out.deadline_met);
+    }
+  }
+}
+
+TEST(ServeTest, AgingPreventsLowPriorityStarvation) {
+  ServiceConfig cfg = small_service(1 << 30);
+  RenderService service(cfg);
+  const double sweep = service.warm_sweep_seconds(0);
+  cfg.aging_interval_seconds = 2.0 * sweep;
+  RenderService aged(cfg);
+
+  // One low-priority request at t=0 in bucket 9, then a steady stream of
+  // high-priority requests in always-fresh buckets that would win every
+  // EDF round on class alone.
+  Workload workload;
+  std::int64_t id = 0;
+  FrameRequest low;
+  low.id = id++;
+  low.session = 0;
+  low.priority = 1;
+  low.camera_bucket = 99;
+  low.arrival = 0.0;
+  low.deadline = 1e9;
+  workload.requests.push_back(low);
+  for (int i = 0; i < 24; ++i) {
+    FrameRequest high;
+    high.id = id++;
+    high.session = 1;
+    high.priority = 0;
+    high.camera_bucket = i;  // never coalesces
+    high.arrival = double(i) * 0.25 * sweep;  // 4x oversubscribed
+    high.deadline = high.arrival + 1e9;
+    workload.requests.push_back(high);
+  }
+
+  const ServeReport report = aged.run(workload);
+  const RequestOutcome& out = report.outcomes[0];
+  EXPECT_EQ(out.outcome, Outcome::kServedFull);
+  // Without aging the low-priority batch would wait for all 24 high
+  // batches (~24 sweeps); with aging it is promoted after 2 sweeps of
+  // waiting and then beats later arrivals on deadline.
+  EXPECT_LT(out.latency, 8.0 * sweep);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder
+
+TEST(ServeTest, LadderEscalatesDegradesServesStaleAndSheds) {
+  ServiceConfig cfg = small_service(1 << 30);
+  RenderService probe(cfg);
+  const double warm = probe.warm_sweep_seconds(0);
+  const double cold = probe.cold_sweep_seconds(0);
+  // Every batch of a same-instant burst estimates at the cold price (no
+  // sweep has started, so none has paid the collective read yet); anchor
+  // the watermarks in cold multiples so the 6-batch burst walks one rung
+  // per pair of batches and crosses shed exactly at the sixth.
+  cfg.overload.high_watermark_seconds = 1.5 * cold;
+  cfg.overload.stale_watermark_seconds = 3.5 * cold;
+  cfg.overload.shed_watermark_seconds = 5.5 * cold;
+  cfg.overload.low_watermark_seconds = 0.5 * warm;
+  RenderService service(cfg);
+
+  // Phase 1 (t=0): a burst in six distinct buckets drives the backlog
+  // through every watermark, ending exactly at shed. Phase 2 (same
+  // instant): one more arrival in a never-swept bucket cannot be served
+  // stale, so it is rejected with backpressure. Phase 3 (much later): the
+  // queue has drained, hysteresis relaxed the level back to full, and a
+  // repeat-bucket arrival is served fresh.
+  Workload workload;
+  std::int64_t id = 0;
+  const auto push = [&](double t, std::int64_t bucket) {
+    FrameRequest req;
+    req.id = id++;
+    req.session = 0;
+    req.camera_bucket = bucket;
+    req.arrival = t;
+    req.deadline = t + 1e9;
+    workload.requests.push_back(req);
+  };
+  for (std::int64_t b = 0; b < 6; ++b) push(0.0, b);
+  push(0.0, 100);  // beyond shed, bucket never swept: backpressure reject
+  push(100.0 * cold, 0);  // long after drain: level back to full
+
+  const ServeReport report = service.run(workload);
+  EXPECT_EQ(report.stats.rejected_backpressure, 1);
+  EXPECT_GT(report.stats.served_degraded, 0);
+  EXPECT_EQ(report.stats.accounted(), report.stats.submitted);
+
+  // Transitions walked up the ladder and later fully relaxed.
+  ASSERT_GE(report.transitions.size(), 2u);
+  EXPECT_GT(int(report.transitions.front().to),
+            int(report.transitions.front().from));
+  EXPECT_EQ(report.transitions.back().to, ServiceLevel::kFull);
+  // The late request was served at full quality after de-escalation.
+  EXPECT_EQ(report.outcomes.back().outcome, Outcome::kServedFull);
+}
+
+TEST(ServeTest, StaleFramesAreServedAtStaleLevelWithAge) {
+  ServiceConfig cfg = small_service(1 << 30);
+  RenderService probe(cfg);
+  const double warm = probe.warm_sweep_seconds(0);
+  const double cold = probe.cold_sweep_seconds(0);
+  cfg.overload.high_watermark_seconds = 1.0 * warm;
+  cfg.overload.stale_watermark_seconds = 1.5 * warm;
+  cfg.overload.shed_watermark_seconds = 100.0 * warm;
+  cfg.overload.low_watermark_seconds = 0.5 * warm;
+  RenderService service(cfg);
+
+  // Bucket 0 is swept first; once that sweep has COMPLETED (after the cold
+  // sweep time — any earlier and a repeat request would just coalesce into
+  // it) a stale frame exists. Then a burst in fresh buckets raises the
+  // level past stale, and a repeat request for bucket 0 is served the
+  // cached frame with a recorded age.
+  Workload workload;
+  std::int64_t id = 0;
+  const auto push = [&](double t, std::int64_t bucket) {
+    FrameRequest req;
+    req.id = id++;
+    req.session = 0;
+    req.camera_bucket = bucket;
+    req.arrival = t;
+    req.deadline = t + 1e9;
+    workload.requests.push_back(req);
+  };
+  push(0.0, 0);
+  for (std::int64_t b = 1; b <= 4; ++b) push(cold + 0.1 * warm, b);
+  push(cold + 0.2 * warm, 0);  // stale candidate
+
+  const ServeReport report = service.run(workload);
+  EXPECT_EQ(report.stats.served_stale, 1);
+  const RequestOutcome& stale = report.outcomes.back();
+  EXPECT_EQ(stale.outcome, Outcome::kServedStale);
+  EXPECT_GT(stale.stale_age, 0.0);
+  EXPECT_EQ(stale.sweep, report.outcomes.front().sweep);  // the cached frame
+  EXPECT_EQ(report.stats.accounted(), report.stats.submitted);
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+TEST(ServeTest, MidRunDeadServerPaysBoundedRetriesThenFailover) {
+  ServiceConfig cfg = small_service(0);  // no cache: every sweep pays I/O
+  cfg.fetch_max_retries = 3;
+  cfg.fetch_retry_backoff = 0.002;
+  RenderService service(cfg);
+  const double sweep = service.cold_sweep_seconds(0);
+
+  WorkloadSpec spec;
+  spec.seed = 5;
+  spec.num_sessions = 2;
+  spec.requests_per_session = 6;
+  spec.request_rate = 1.0 / sweep;
+  spec.slo_seconds = 1e6;
+  spec.camera_buckets = 4;
+  spec.orbit_step = 6.283185307179586 / 4.0;
+  const Workload workload = Workload::generate(spec);
+
+  ServiceFault fault;
+  fault.time = 2.5 * sweep;  // after some healthy sweeps
+  fault.plan.fail_server(0);
+
+  const ServeReport healthy = service.run(workload);
+  RenderService service2(cfg);
+  const ServeReport faulty = service2.run(workload, {fault});
+
+  EXPECT_EQ(healthy.stats.fetch_retries, 0);
+  EXPECT_GT(faulty.stats.fetch_retries, 0);
+  EXPECT_GT(faulty.stats.backoff_seconds, 0.0);
+  EXPECT_GT(faulty.faults.failover_extents, 0);
+  // Bounded: every faulty fetch pays at most fetch_max_retries attempts.
+  EXPECT_LE(faulty.stats.fetch_retries,
+            faulty.stats.sweeps * std::int64_t(cfg.fetch_max_retries));
+  // Failover is priced, not free: the faulty run takes strictly longer,
+  // but still completes with every request served.
+  EXPECT_GT(faulty.stats.end_time, healthy.stats.end_time);
+  EXPECT_EQ(faulty.stats.accounted(), faulty.stats.submitted);
+  EXPECT_EQ(faulty.stats.served(), faulty.stats.submitted);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+TEST(ServeTest, ReportAndTraceAreByteIdenticalAcrossHostThreads) {
+  const auto run_with_threads = [](int host_threads) {
+    ServiceConfig cfg = small_service(1 << 22);
+    for (auto& ds : cfg.datasets) ds.config.host_threads = host_threads;
+    cfg.overload.high_watermark_seconds = 2.0;
+    cfg.overload.stale_watermark_seconds = 4.0;
+    cfg.overload.shed_watermark_seconds = 8.0;
+    cfg.overload.low_watermark_seconds = 1.0;
+    RenderService service(cfg);
+
+    WorkloadSpec spec;
+    spec.seed = 17;
+    spec.num_sessions = 4;
+    spec.requests_per_session = 6;
+    spec.request_rate = 0.5;
+    spec.camera_buckets = 4;
+    spec.orbit_step = 6.283185307179586 / 4.0;
+
+    obs::Tracer tracer;
+    service.set_tracer(&tracer);
+    ServiceFault fault;
+    fault.time = 3.0;
+    fault.plan.fail_server(0);
+    const ServeReport report =
+        service.run(Workload::generate(spec), {fault});
+
+    std::string bytes = report.summary();
+    bytes += obs::to_chrome_trace_json(tracer);
+    bytes += obs::to_metrics_json(tracer.metrics());
+    for (const CacheEvent& e : report.cache_events) {
+      bytes += std::string(to_string(e.kind)) + ":" +
+               std::to_string(e.key.dataset) + "/" +
+               std::to_string(e.key.block) + "\n";
+    }
+    return bytes;
+  };
+
+  const std::string serial = run_with_threads(1);
+  const std::string threaded = run_with_threads(4);
+  EXPECT_EQ(serial, threaded);
+
+  // And across repeated runs of the same service object.
+  ServiceConfig cfg = small_service(1 << 22);
+  RenderService service(cfg);
+  WorkloadSpec spec;
+  spec.seed = 17;
+  spec.num_sessions = 3;
+  spec.requests_per_session = 4;
+  const Workload w = Workload::generate(spec);
+  EXPECT_EQ(service.run(w).summary(), service.run(w).summary());
+}
+
+TEST(ServeTest, MetricsRecordCacheAndServeCounters) {
+  ServiceConfig cfg = small_service(1 << 30);
+  RenderService service(cfg);
+  WorkloadSpec spec;
+  spec.seed = 9;
+  spec.num_sessions = 3;
+  spec.requests_per_session = 4;
+  spec.request_rate = 0.5 / service.warm_sweep_seconds(0);
+
+  obs::Tracer tracer;
+  service.set_tracer(&tracer);
+  const ServeReport report = service.run(Workload::generate(spec));
+
+  const auto& counters = tracer.metrics().counters();
+  ASSERT_TRUE(counters.count("cache.hit"));
+  ASSERT_TRUE(counters.count("cache.miss"));
+  EXPECT_EQ(counters.at("cache.hit").value, report.cache.hits);
+  EXPECT_EQ(counters.at("cache.miss").value, report.cache.misses);
+  const auto& indexed = tracer.metrics().indexed_counters();
+  ASSERT_TRUE(indexed.count("serve.requests_by_dataset"));
+  EXPECT_EQ(indexed.at("serve.requests_by_dataset").total(),
+            report.stats.submitted);
+  // The run span tree closed cleanly and attributes into the service
+  // bucket alongside storage/compute sweep phases.
+  EXPECT_EQ(tracer.open_depth(), 0);
+  const profile::FrameProfile prof = profile::analyze_frame(tracer, 0);
+  EXPECT_GT(prof.attribution.ps(profile::Bucket::kService), 0);
+  EXPECT_GT(prof.attribution.ps(profile::Bucket::kCompute), 0);
+  EXPECT_NEAR(prof.attribution.total_seconds(), report.stats.end_time, 1e-9);
+}
+
+}  // namespace
